@@ -1,0 +1,54 @@
+// Quickstart: parse a MiniF program, run the interprocedural parallelizer,
+// and print each loop's verdict — the smallest end-to-end use of the public
+// pipeline (parse → analyze → parallelize).
+package main
+
+import (
+	"fmt"
+
+	"suifx/internal/minif"
+	"suifx/internal/parallel"
+)
+
+const src = `
+      SUBROUTINE saxpy(y, x, a, n)
+      REAL y(1000), x(1000), a
+      INTEGER i, n
+      DO 10 i = 1, n
+        y(i) = y(i) + a * x(i)
+10    CONTINUE
+      END
+      PROGRAM quick
+      REAL y(1000), x(1000), s
+      INTEGER i, n
+      n = 1000
+      DO 5 i = 1, n
+        x(i) = i * 0.5
+        y(i) = 0.0
+5     CONTINUE
+      CALL saxpy(y, x, 2.0, n)
+      s = 0.0
+      DO 20 i = 1, n
+        s = s + y(i)
+20    CONTINUE
+      WRITE(*,*) s
+      END
+`
+
+func main() {
+	prog, err := minif.Parse("quick", src)
+	if err != nil {
+		panic(err)
+	}
+	res := parallel.Parallelize(prog, parallel.Config{UseReductions: true})
+	for _, li := range res.Ordered {
+		verdict := "sequential"
+		if li.Dep.Parallelizable {
+			verdict = "parallel"
+			if li.Dep.NeedsReduction {
+				verdict += " (reduction)"
+			}
+		}
+		fmt.Printf("%-12s %s\n", li.ID(), verdict)
+	}
+}

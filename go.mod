@@ -1,0 +1,3 @@
+module suifx
+
+go 1.22

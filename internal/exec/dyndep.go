@@ -1,0 +1,206 @@
+package exec
+
+import (
+	"sort"
+
+	"suifx/internal/ir"
+)
+
+// DynDep implements the Dynamic Dependence Analyzer of §2.5.2: it
+// instruments reads and writes, keeps the most recent write per memory
+// location, and reports which loops carried a flow dependence during the
+// run. Anti-dependences are ignored and same-iteration flow is not counted
+// (privatization would remove it), exactly as the paper describes. Two
+// optimizations from the paper are available: skipping accesses the
+// compiler proved independent (via the Skip filter) and sampling batches of
+// iterations (SampleEvery).
+type DynDep struct {
+	in *Interp
+
+	// Skip, when non-nil, suppresses instrumentation for statements the
+	// compiler proved independent (§2.5.2 optimization 1).
+	Skip func(s ir.Stmt) bool
+	// IgnoreVar suppresses dependences on variables the compiler already
+	// knows to be inductions or reductions for the given loop.
+	IgnoreVar func(l *ir.DoLoop, addr int64) bool
+	// SampleEvery > 1 instruments only iterations where
+	// iter < SampleWarm || iter % SampleEvery == 0 (§2.5.2 optimization 2).
+	SampleEvery int64
+	SampleWarm  int64
+
+	stack     []*dynLoop
+	lastWrite map[int64]*writeRec
+	carried   map[*ir.DoLoop]int64 // loop -> dynamic loop-carried flow deps
+	carriedAt map[*ir.DoLoop]map[int64]int64
+	accesses  int64
+}
+
+type dynLoop struct {
+	loop    *ir.DoLoop
+	iter    int64
+	sampled bool
+}
+
+type writeRec struct {
+	// iters captures, per active loop at the time of the write, the
+	// iteration number (aligned with the loop stack).
+	loops []*ir.DoLoop
+	iters []int64
+}
+
+// NewDynDep attaches the dynamic dependence analyzer to an interpreter.
+func NewDynDep(in *Interp) *DynDep {
+	d := &DynDep{in: in, lastWrite: map[int64]*writeRec{}, carried: map[*ir.DoLoop]int64{},
+		carriedAt: map[*ir.DoLoop]map[int64]int64{}}
+	prevEnter, prevExit, prevIter := in.Hooks.OnLoopEnter, in.Hooks.OnLoopExit, in.Hooks.OnLoopIter
+	prevRead, prevWrite := in.Hooks.OnRead, in.Hooks.OnWrite
+	in.Hooks.OnLoopEnter = func(proc string, l *ir.DoLoop) {
+		if prevEnter != nil {
+			prevEnter(proc, l)
+		}
+		d.stack = append(d.stack, &dynLoop{loop: l, iter: -1})
+	}
+	in.Hooks.OnLoopIter = func(proc string, l *ir.DoLoop, iter int64) {
+		if prevIter != nil {
+			prevIter(proc, l, iter)
+		}
+		top := d.stack[len(d.stack)-1]
+		top.iter = iter
+		top.sampled = d.sampleIter(iter)
+	}
+	in.Hooks.OnLoopExit = func(proc string, l *ir.DoLoop) {
+		if prevExit != nil {
+			prevExit(proc, l)
+		}
+		if len(d.stack) > 0 {
+			d.stack = d.stack[:len(d.stack)-1]
+		}
+	}
+	in.Hooks.OnRead = func(addr int64, proc string, s ir.Stmt) {
+		if prevRead != nil {
+			prevRead(addr, proc, s)
+		}
+		d.onRead(addr, s)
+	}
+	in.Hooks.OnWrite = func(addr int64, proc string, s ir.Stmt) {
+		if prevWrite != nil {
+			prevWrite(addr, proc, s)
+		}
+		d.onWrite(addr, s)
+	}
+	return d
+}
+
+func (d *DynDep) sampleIter(iter int64) bool {
+	if d.SampleEvery <= 1 {
+		return true
+	}
+	warm := d.SampleWarm
+	if warm == 0 {
+		warm = 2
+	}
+	return iter < warm || iter%d.SampleEvery == 0
+}
+
+// active reports whether the current iteration stack is being sampled.
+func (d *DynDep) active() bool {
+	for _, e := range d.stack {
+		if !e.sampled {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *DynDep) onWrite(addr int64, s ir.Stmt) {
+	if d.Skip != nil && d.Skip(s) {
+		return
+	}
+	if !d.active() {
+		return
+	}
+	d.accesses++
+	rec := &writeRec{
+		loops: make([]*ir.DoLoop, len(d.stack)),
+		iters: make([]int64, len(d.stack)),
+	}
+	for i, e := range d.stack {
+		rec.loops[i] = e.loop
+		rec.iters[i] = e.iter
+	}
+	d.lastWrite[addr] = rec
+}
+
+func (d *DynDep) onRead(addr int64, s ir.Stmt) {
+	if d.Skip != nil && d.Skip(s) {
+		return
+	}
+	if !d.active() {
+		return
+	}
+	d.accesses++
+	rec := d.lastWrite[addr]
+	if rec == nil {
+		return
+	}
+	// The dependence is carried by the outermost common loop whose
+	// iteration number differs between writer and reader.
+	n := len(d.stack)
+	if len(rec.loops) < n {
+		n = len(rec.loops)
+	}
+	for i := 0; i < n; i++ {
+		if d.stack[i].loop != rec.loops[i] {
+			return // different loop instances: not a carried dep we track
+		}
+		if d.stack[i].iter != rec.iters[i] {
+			l := d.stack[i].loop
+			if d.IgnoreVar != nil && d.IgnoreVar(l, addr) {
+				return
+			}
+			d.carried[l]++
+			m := d.carriedAt[l]
+			if m == nil {
+				m = map[int64]int64{}
+				d.carriedAt[l] = m
+			}
+			m[addr]++
+			return
+		}
+	}
+}
+
+// Carried reports the number of dynamic loop-carried flow dependences
+// observed for a loop (0 = potentially parallelizable, a hint per §2.5.2).
+func (d *DynDep) Carried(l *ir.DoLoop) int64 { return d.carried[l] }
+
+// CarriedInRange reports dynamic carried dependences whose address falls in
+// [lo, hi] — used by the assertion checker (§2.8) to refute independence
+// claims about a specific variable.
+func (d *DynDep) CarriedInRange(l *ir.DoLoop, lo, hi int64) int64 {
+	var n int64
+	for addr, c := range d.carriedAt[l] {
+		if addr >= lo && addr <= hi {
+			n += c
+		}
+	}
+	return n
+}
+
+// Accesses returns how many accesses were instrumented (for the sampling
+// ablation).
+func (d *DynDep) Accesses() int64 { return d.accesses }
+
+// LoopsWithDeps returns IDs of loops that carried dependences, sorted.
+func (d *DynDep) LoopsWithDeps(prog *ir.Program) []string {
+	var out []string
+	for _, p := range prog.Procs {
+		for _, l := range p.Loops() {
+			if d.carried[l] > 0 {
+				out = append(out, l.ID(p.Name))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

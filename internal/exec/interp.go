@@ -1,0 +1,571 @@
+// Package exec executes MiniF programs: a tree-walking interpreter over a
+// flat memory arena, with instrumentation hooks that implement the paper's
+// Execution Analyzers (§2.5) — the Loop Profile Analyzer and the Dynamic
+// Dependence Analyzer — and a deterministic virtual-time (operation count)
+// clock the machine cost models consume.
+package exec
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"suifx/internal/ir"
+)
+
+// Ref is a variable binding in a frame: a base address in the arena plus
+// the declared dimensions (nil for scalars). Subarray arguments bind with a
+// shifted base (Fortran sequence association).
+type Ref struct {
+	Base int64
+	Dims []ir.Dim
+}
+
+// Hooks intercept execution events. Any hook may be nil.
+type Hooks struct {
+	OnLoopEnter func(proc string, l *ir.DoLoop)
+	OnLoopIter  func(proc string, l *ir.DoLoop, iter int64)
+	OnLoopExit  func(proc string, l *ir.DoLoop)
+	OnRead      func(addr int64, proc string, s ir.Stmt)
+	OnWrite     func(addr int64, proc string, s ir.Stmt)
+}
+
+// Interp executes one program instance.
+type Interp struct {
+	Prog  *ir.Program
+	Out   io.Writer
+	Hooks Hooks
+
+	arena []float64
+	// base maps storage roots: canonical common members and static locals.
+	base     map[*ir.Symbol]int64
+	blockOff map[string]int64
+	ops      int64
+	canon    map[string]*ir.Symbol
+	tempBase int64
+	tempTop  int64
+
+	// MaxOps aborts runaway executions (0 = unlimited).
+	MaxOps int64
+
+	// Parallel execution state (see parallel.go).
+	plan         *ParallelPlan
+	workerBase   map[*ir.DoLoop]map[*ir.Symbol][]int64
+	workerLocals map[*ir.DoLoop][]map[*ir.Symbol]int64
+	// privCommon overrides common-member storage in worker clones, so
+	// privatized common variables stay private across call boundaries.
+	privCommon map[string]map[int64]int64
+	inParallel bool
+}
+
+// New allocates an interpreter with all static storage (commons and locals).
+func New(prog *ir.Program) *Interp {
+	in := &Interp{
+		Prog:     prog,
+		Out:      io.Discard,
+		base:     map[*ir.Symbol]int64{},
+		blockOff: map[string]int64{},
+		canon:    map[string]*ir.Symbol{},
+	}
+	// Commons first: one block of storage per common block.
+	names := make([]string, 0, len(prog.Commons))
+	for n := range prog.Commons {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		in.blockOff[n] = int64(len(in.arena))
+		in.arena = append(in.arena, make([]float64, prog.Commons[n].Size)...)
+	}
+	// Static locals (Fortran SAVE semantics).
+	for _, p := range prog.Procs {
+		for _, s := range p.SortedSyms() {
+			if s.Common != "" || s.IsParam {
+				continue
+			}
+			in.base[s] = int64(len(in.arena))
+			in.arena = append(in.arena, make([]float64, s.NElems())...)
+		}
+	}
+	// Scratch area for value arguments (fixed so the arena never reallocates
+	// during execution).
+	in.tempBase = int64(len(in.arena))
+	in.tempTop = in.tempBase
+	in.arena = append(in.arena, make([]float64, 1024)...)
+	return in
+}
+
+// Ops returns the virtual-time counter (operations executed so far).
+func (in *Interp) Ops() int64 { return in.ops }
+
+// Arena exposes the memory image (for validating parallel execution).
+func (in *Interp) Arena() []float64 { return in.arena }
+
+// ArenaSize returns the number of storage cells.
+func (in *Interp) ArenaSize() int { return len(in.arena) }
+
+// frame binds a procedure's symbols to storage.
+type frame struct {
+	proc *ir.Proc
+	refs map[*ir.Symbol]Ref
+}
+
+func (in *Interp) refOf(f *frame, sym *ir.Symbol) Ref {
+	if r, ok := f.refs[sym]; ok {
+		return r
+	}
+	var r Ref
+	switch {
+	case sym.Common != "":
+		if ov, ok := in.privCommon[sym.Common][sym.CommonOffset]; ok {
+			r = Ref{Base: ov, Dims: sym.Dims}
+			break
+		}
+		r = Ref{Base: in.blockOff[sym.Common] + sym.CommonOffset, Dims: sym.Dims}
+	default:
+		r = Ref{Base: in.base[sym], Dims: sym.Dims}
+	}
+	f.refs[sym] = r
+	return r
+}
+
+// Run executes the program from its PROGRAM unit.
+func (in *Interp) Run() error {
+	main := in.Prog.Main()
+	if main == nil {
+		return fmt.Errorf("exec: no main program")
+	}
+	f := &frame{proc: main, refs: map[*ir.Symbol]Ref{}}
+	_, err := in.execStmts(f, main.Body)
+	return err
+}
+
+// RunProc invokes one subroutine with pre-bound argument refs (used by the
+// parallel runtime).
+func (in *Interp) RunProc(p *ir.Proc, refs map[*ir.Symbol]Ref) error {
+	f := &frame{proc: p, refs: refs}
+	_, err := in.execStmts(f, p.Body)
+	return err
+}
+
+type signal int
+
+const (
+	sigNone signal = iota
+	sigReturn
+	sigStop
+)
+
+func (in *Interp) tick(n int64) error {
+	in.ops += n
+	if in.MaxOps > 0 && in.ops > in.MaxOps {
+		return fmt.Errorf("exec: operation budget exceeded (%d)", in.MaxOps)
+	}
+	return nil
+}
+
+func (in *Interp) execStmts(f *frame, stmts []ir.Stmt) (signal, error) {
+	for _, s := range stmts {
+		sig, err := in.execStmt(f, s)
+		if err != nil || sig != sigNone {
+			return sig, err
+		}
+	}
+	return sigNone, nil
+}
+
+func (in *Interp) execStmt(f *frame, s ir.Stmt) (signal, error) {
+	if err := in.tick(1); err != nil {
+		return sigNone, err
+	}
+	switch st := s.(type) {
+	case *ir.Assign:
+		v, err := in.eval(f, st.Rhs, s)
+		if err != nil {
+			return sigNone, err
+		}
+		return sigNone, in.store(f, st.Lhs, v, s)
+	case *ir.If:
+		c, err := in.eval(f, st.Cond, s)
+		if err != nil {
+			return sigNone, err
+		}
+		if c != 0 {
+			return in.execStmts(f, st.Then)
+		}
+		return in.execStmts(f, st.Else)
+	case *ir.DoLoop:
+		return in.execLoop(f, st)
+	case *ir.Call:
+		return sigNone, in.execCall(f, st)
+	case *ir.IO:
+		return sigNone, in.execIO(f, st)
+	case *ir.Continue:
+		return sigNone, nil
+	case *ir.Return:
+		return sigReturn, nil
+	case *ir.Stop:
+		return sigStop, nil
+	}
+	return sigNone, fmt.Errorf("exec: unknown statement %T", s)
+}
+
+func (in *Interp) execLoop(f *frame, l *ir.DoLoop) (signal, error) {
+	lo, err := in.eval(f, l.Lo, l)
+	if err != nil {
+		return sigNone, err
+	}
+	hi, err := in.eval(f, l.Hi, l)
+	if err != nil {
+		return sigNone, err
+	}
+	step := 1.0
+	if l.Step != nil {
+		step, err = in.eval(f, l.Step, l)
+		if err != nil {
+			return sigNone, err
+		}
+		if step == 0 {
+			return sigNone, fmt.Errorf("exec: line %d: zero DO step", l.Pos.Line)
+		}
+	}
+	idx := in.refOf(f, l.Index)
+	trips := int64(math.Floor((hi-lo+step)/step + 1e-9))
+	if trips < 0 {
+		trips = 0
+	}
+	if h := in.Hooks.OnLoopEnter; h != nil {
+		h(f.proc.Name, l)
+	}
+	if lp := in.planFor(l); lp != nil {
+		sig, err := in.execParallelLoop(f, l, lp, lo, hi, step, trips)
+		in.arena[idx.Base] = lo + float64(trips)*step
+		if h := in.Hooks.OnLoopExit; h != nil {
+			h(f.proc.Name, l)
+		}
+		return sig, err
+	}
+	v := lo
+	for it := int64(0); it < trips; it++ {
+		in.arena[idx.Base] = v
+		if h := in.Hooks.OnLoopIter; h != nil {
+			h(f.proc.Name, l, it)
+		}
+		sig, err := in.execStmts(f, l.Body)
+		if err != nil || sig != sigNone {
+			if h := in.Hooks.OnLoopExit; h != nil {
+				h(f.proc.Name, l)
+			}
+			return sig, err
+		}
+		v += step
+	}
+	in.arena[idx.Base] = v // Fortran leaves the index past the bound
+	if h := in.Hooks.OnLoopExit; h != nil {
+		h(f.proc.Name, l)
+	}
+	return sigNone, nil
+}
+
+func (in *Interp) execCall(f *frame, c *ir.Call) error {
+	callee := in.Prog.ByName[c.Name]
+	if callee == nil {
+		return fmt.Errorf("exec: line %d: unknown subroutine %s", c.Pos.Line, c.Name)
+	}
+	refs := map[*ir.Symbol]Ref{}
+	savedTop := in.tempTop
+	defer func() { in.tempTop = savedTop }()
+	for i, formal := range callee.Params {
+		arg := c.Args[i]
+		switch x := arg.(type) {
+		case *ir.VarRef:
+			r := in.refOf(f, x.Sym)
+			refs[formal] = Ref{Base: r.Base, Dims: formal.Dims}
+		case *ir.ArrayRef:
+			r := in.refOf(f, x.Sym)
+			base := r.Base
+			if len(x.Idx) > 0 {
+				off, err := in.elemOffset(f, x, c)
+				if err != nil {
+					return err
+				}
+				base = r.Base + off
+			}
+			refs[formal] = Ref{Base: base, Dims: formal.Dims}
+		default:
+			// Value argument: evaluate into a scratch cell.
+			v, err := in.eval(f, arg, c)
+			if err != nil {
+				return err
+			}
+			if in.tempTop >= int64(len(in.arena)) {
+				return fmt.Errorf("exec: line %d: temporary stack overflow", c.Pos.Line)
+			}
+			in.arena[in.tempTop] = v
+			refs[formal] = Ref{Base: in.tempTop}
+			in.tempTop++
+		}
+	}
+	nf := &frame{proc: callee, refs: refs}
+	_, err := in.execStmts(nf, callee.Body)
+	return err
+}
+
+func (in *Interp) execIO(f *frame, st *ir.IO) error {
+	if st.Write {
+		vals := make([]interface{}, 0, len(st.Args))
+		for _, a := range st.Args {
+			v, err := in.eval(f, a, st)
+			if err != nil {
+				return err
+			}
+			vals = append(vals, v)
+		}
+		fmt.Fprintln(in.Out, vals...)
+		return nil
+	}
+	// READ: deterministic pseudo-input (zero); real inputs come from
+	// workload initialization code instead.
+	for _, a := range st.Args {
+		if r, ok := a.(ir.Ref); ok {
+			if err := in.store(f, r, 0, st); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// elemOffset computes the flat element offset of an array reference from
+// the array's base (column-major, honoring declared lower bounds).
+func (in *Interp) elemOffset(f *frame, ar *ir.ArrayRef, s ir.Stmt) (int64, error) {
+	r := in.refOf(f, ar.Sym)
+	dims := r.Dims
+	if len(dims) == 0 {
+		dims = ar.Sym.Dims
+	}
+	if len(ar.Idx) != len(dims) {
+		return 0, fmt.Errorf("exec: line %d: %s subscripted with %d of %d dims",
+			s.Position().Line, ar.Sym.Name, len(ar.Idx), len(dims))
+	}
+	off := int64(0)
+	stride := int64(1)
+	for d, ix := range ar.Idx {
+		v, err := in.eval(f, ix, s)
+		if err != nil {
+			return 0, err
+		}
+		iv := int64(math.Round(v))
+		if iv < dims[d].Lo || iv > dims[d].Hi {
+			return 0, fmt.Errorf("exec: line %d: index %d out of bounds %d:%d for %s dim %d",
+				s.Position().Line, iv, dims[d].Lo, dims[d].Hi, ar.Sym.Name, d+1)
+		}
+		off += (iv - dims[d].Lo) * stride
+		stride *= dims[d].Size()
+	}
+	return off, nil
+}
+
+func (in *Interp) load(f *frame, e ir.Expr, s ir.Stmt) (float64, error) {
+	switch x := e.(type) {
+	case *ir.VarRef:
+		r := in.refOf(f, x.Sym)
+		if h := in.Hooks.OnRead; h != nil {
+			h(r.Base, f.proc.Name, s)
+		}
+		return in.arena[r.Base], nil
+	case *ir.ArrayRef:
+		off, err := in.elemOffset(f, x, s)
+		if err != nil {
+			return 0, err
+		}
+		r := in.refOf(f, x.Sym)
+		if h := in.Hooks.OnRead; h != nil {
+			h(r.Base+off, f.proc.Name, s)
+		}
+		return in.arena[r.Base+off], nil
+	}
+	return 0, fmt.Errorf("exec: not a reference: %v", e)
+}
+
+func (in *Interp) store(f *frame, ref ir.Ref, v float64, s ir.Stmt) error {
+	switch x := ref.(type) {
+	case *ir.VarRef:
+		r := in.refOf(f, x.Sym)
+		if h := in.Hooks.OnWrite; h != nil {
+			h(r.Base, f.proc.Name, s)
+		}
+		in.arena[r.Base] = v
+		return nil
+	case *ir.ArrayRef:
+		off, err := in.elemOffset(f, x, s)
+		if err != nil {
+			return err
+		}
+		r := in.refOf(f, x.Sym)
+		if h := in.Hooks.OnWrite; h != nil {
+			h(r.Base+off, f.proc.Name, s)
+		}
+		in.arena[r.Base+off] = v
+		return nil
+	}
+	return fmt.Errorf("exec: unassignable reference %v", ref)
+}
+
+func (in *Interp) eval(f *frame, e ir.Expr, s ir.Stmt) (float64, error) {
+	if err := in.tick(1); err != nil {
+		return 0, err
+	}
+	switch x := e.(type) {
+	case *ir.Const:
+		return x.Val, nil
+	case *ir.VarRef, *ir.ArrayRef:
+		return in.load(f, e, s)
+	case *ir.Un:
+		v, err := in.eval(f, x.X, s)
+		if err != nil {
+			return 0, err
+		}
+		if x.Op == "-" {
+			return -v, nil
+		}
+		if v == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case *ir.Bin:
+		l, err := in.eval(f, x.L, s)
+		if err != nil {
+			return 0, err
+		}
+		// Short-circuit logicals.
+		switch x.Op {
+		case ir.OpAnd:
+			if l == 0 {
+				return 0, nil
+			}
+		case ir.OpOr:
+			if l != 0 {
+				return 1, nil
+			}
+		}
+		r, err := in.eval(f, x.R, s)
+		if err != nil {
+			return 0, err
+		}
+		return applyBin(x.Op, l, r, x.Pos.Line)
+	case *ir.Intrinsic:
+		args := make([]float64, len(x.Args))
+		for i, a := range x.Args {
+			v, err := in.eval(f, a, s)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		return applyIntrinsic(x.Name, args)
+	}
+	return 0, fmt.Errorf("exec: cannot evaluate %T", e)
+}
+
+func applyBin(op ir.BinOp, l, r float64, line int) (float64, error) {
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case ir.OpAdd:
+		return l + r, nil
+	case ir.OpSub:
+		return l - r, nil
+	case ir.OpMul:
+		return l * r, nil
+	case ir.OpDiv:
+		if r == 0 {
+			return 0, fmt.Errorf("exec: line %d: division by zero", line)
+		}
+		return l / r, nil
+	case ir.OpEQ:
+		return b2f(l == r), nil
+	case ir.OpNE:
+		return b2f(l != r), nil
+	case ir.OpLT:
+		return b2f(l < r), nil
+	case ir.OpLE:
+		return b2f(l <= r), nil
+	case ir.OpGT:
+		return b2f(l > r), nil
+	case ir.OpGE:
+		return b2f(l >= r), nil
+	case ir.OpAnd:
+		return b2f(l != 0 && r != 0), nil
+	case ir.OpOr:
+		return b2f(l != 0 || r != 0), nil
+	}
+	return 0, fmt.Errorf("exec: bad operator %v", op)
+}
+
+func applyIntrinsic(name string, args []float64) (float64, error) {
+	switch name {
+	case "MIN":
+		v := args[0]
+		for _, a := range args[1:] {
+			if a < v {
+				v = a
+			}
+		}
+		return v, nil
+	case "MAX":
+		v := args[0]
+		for _, a := range args[1:] {
+			if a > v {
+				v = a
+			}
+		}
+		return v, nil
+	case "MOD":
+		return math.Mod(args[0], args[1]), nil
+	case "ABS":
+		return math.Abs(args[0]), nil
+	case "SQRT":
+		if args[0] < 0 {
+			return 0, fmt.Errorf("exec: SQRT of negative value")
+		}
+		return math.Sqrt(args[0]), nil
+	case "EXP":
+		return math.Exp(args[0]), nil
+	case "SIN":
+		return math.Sin(args[0]), nil
+	case "COS":
+		return math.Cos(args[0]), nil
+	case "INT":
+		return math.Trunc(args[0]), nil
+	case "FLOAT", "DBLE":
+		return args[0], nil
+	}
+	return 0, fmt.Errorf("exec: unknown intrinsic %s", name)
+}
+
+// SymRange returns the arena address range of a named variable in a
+// procedure (commons resolve to their block storage). ok is false for
+// parameters, whose storage depends on the caller.
+func (in *Interp) SymRange(proc, name string) (lo, hi int64, ok bool) {
+	p := in.Prog.ByName[proc]
+	if p == nil {
+		return 0, 0, false
+	}
+	sym := p.Lookup(name)
+	if sym == nil || sym.IsParam {
+		return 0, 0, false
+	}
+	var base int64
+	if sym.Common != "" {
+		base = in.blockOff[sym.Common] + sym.CommonOffset
+	} else {
+		base = in.base[sym]
+	}
+	return base, base + sym.NElems() - 1, true
+}

@@ -1,0 +1,353 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"suifx/internal/ir"
+)
+
+// ReductionPlan describes one reduction variable of a parallel loop (§6.3).
+type ReductionPlan struct {
+	Sym *ir.Symbol
+	Op  string // "+", "*", "MIN", "MAX"
+}
+
+// LoopPlan describes how to execute one approved parallel loop: which
+// variables each worker privatizes, which privatized variables need
+// last-iteration finalization, and the reduction transformation.
+type LoopPlan struct {
+	Private    []*ir.Symbol
+	Finalize   []*ir.Symbol // privates written back from the last iteration
+	Reductions []ReductionPlan
+	// Staggered selects the §6.3.4 finalization: the reduction region is
+	// partitioned into Chunks lock-protected sections and worker w starts
+	// at chunk w, minimizing contention. False = one global lock.
+	Staggered bool
+	Chunks    int
+}
+
+// ParallelPlan carries all loop plans plus the worker count.
+type ParallelPlan struct {
+	Workers int
+	Loops   map[*ir.DoLoop]*LoopPlan
+}
+
+// NewWithPlan builds an interpreter that executes the planned loops in
+// parallel with real goroutines: private copies and reduction accumulators
+// are pre-allocated per worker so the arena never grows during execution.
+func NewWithPlan(prog *ir.Program, plan *ParallelPlan) *Interp {
+	in := New(prog)
+	if plan == nil || plan.Workers < 1 {
+		return in
+	}
+	in.plan = plan
+	in.workerBase = map[*ir.DoLoop]map[*ir.Symbol][]int64{}
+	in.workerLocals = map[*ir.DoLoop][]map[*ir.Symbol]int64{}
+	for l, lp := range plan.Loops {
+		m := map[*ir.Symbol][]int64{}
+		in.workerBase[l] = m
+		alloc := func(sym *ir.Symbol) {
+			bases := make([]int64, plan.Workers)
+			for w := 0; w < plan.Workers; w++ {
+				bases[w] = int64(len(in.arena))
+				in.arena = append(in.arena, make([]float64, sym.NElems())...)
+			}
+			m[sym] = bases
+		}
+		alloc(l.Index)
+		for _, s := range lp.Private {
+			if s != l.Index {
+				alloc(s)
+			}
+		}
+		for _, r := range lp.Reductions {
+			alloc(r.Sym)
+		}
+		// Every local of every procedure reachable from the loop body gets
+		// per-worker storage: Fortran locals live on each processor's stack
+		// in the SPMD runtime, and sharing the static copies would race.
+		perWorker := make([]map[*ir.Symbol]int64, plan.Workers)
+		for w := range perWorker {
+			perWorker[w] = map[*ir.Symbol]int64{}
+		}
+		for _, proc := range reachableProcs(prog, l) {
+			for _, sym := range proc.SortedSyms() {
+				if sym.Common != "" || sym.IsParam {
+					continue
+				}
+				for w := 0; w < plan.Workers; w++ {
+					perWorker[w][sym] = int64(len(in.arena))
+					in.arena = append(in.arena, make([]float64, sym.NElems())...)
+				}
+			}
+		}
+		in.workerLocals[l] = perWorker
+	}
+	return in
+}
+
+// reachableProcs returns the procedures called (transitively) from a loop's
+// body.
+func reachableProcs(prog *ir.Program, l *ir.DoLoop) []*ir.Proc {
+	seen := map[string]bool{}
+	var out []*ir.Proc
+	var visit func(name string)
+	visit = func(name string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		p := prog.ByName[name]
+		if p == nil {
+			return
+		}
+		out = append(out, p)
+		for _, c := range prog.CallGraph()[name] {
+			visit(c)
+		}
+	}
+	ir.WalkStmts(l.Body, func(s ir.Stmt) bool {
+		if c, ok := s.(*ir.Call); ok {
+			visit(c.Name)
+		}
+		return true
+	})
+	return out
+}
+
+// identity returns the reduction identity element (§6.3.1).
+func identity(op string) float64 {
+	switch op {
+	case "+":
+		return 0
+	case "*":
+		return 1
+	case "MIN":
+		return math.Inf(1)
+	case "MAX":
+		return math.Inf(-1)
+	}
+	return 0
+}
+
+func combine(op string, a, b float64) float64 {
+	switch op {
+	case "+":
+		return a + b
+	case "*":
+		return a * b
+	case "MIN":
+		return math.Min(a, b)
+	case "MAX":
+		return math.Max(a, b)
+	}
+	return a
+}
+
+// execParallelLoop runs one approved loop across the plan's workers.
+func (in *Interp) execParallelLoop(f *frame, l *ir.DoLoop, lp *LoopPlan, lo, hi, step float64, trips int64) (signal, error) {
+	workers := in.plan.Workers
+	if trips < int64(workers) {
+		workers = int(trips)
+	}
+	if workers == 0 {
+		return sigNone, nil
+	}
+	bases := in.workerBase[l]
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	opsTotal := int64(0)
+
+	// Iterations are evenly divided between the processors at spawn time
+	// (§4.5): worker w gets [w*trips/W, (w+1)*trips/W).
+	for w := 0; w < workers; w++ {
+		wlo := int64(w) * trips / int64(workers)
+		whi := int64(w+1) * trips / int64(workers)
+		wg.Add(1)
+		go func(w int, wlo, whi int64) {
+			defer wg.Done()
+			wi := in.workerClone(l, w)
+			wf := &frame{proc: f.proc, refs: map[*ir.Symbol]Ref{}}
+			for s, r := range f.refs {
+				wf.refs[s] = r
+			}
+			// Rebind privates and reduction accumulators to worker storage.
+			// Common-block members are overridden globally for this worker so
+			// callees reach the private copy too. The LAST worker keeps the
+			// original storage as its private copy (§5.4): since approved
+			// privates write the identical region every iteration, the shared
+			// array ends up exactly as a sequential run leaves it — including
+			// elements the loop never writes.
+			lastWorker := w == workers-1
+			bind := func(sym *ir.Symbol, init bool, op string) {
+				base := bases[sym][w]
+				wf.refs[sym] = Ref{Base: base, Dims: sym.Dims}
+				if sym.Common != "" {
+					if wi.privCommon == nil {
+						wi.privCommon = map[string]map[int64]int64{}
+					}
+					if wi.privCommon[sym.Common] == nil {
+						wi.privCommon[sym.Common] = map[int64]int64{}
+					}
+					wi.privCommon[sym.Common][sym.CommonOffset] = base
+				}
+				if init {
+					for k := int64(0); k < sym.NElems(); k++ {
+						wi.arena[base+k] = identity(op)
+					}
+				}
+			}
+			bind(l.Index, false, "")
+			for _, s := range lp.Private {
+				if s != l.Index && !lastWorker {
+					bind(s, false, "")
+				}
+			}
+			for _, r := range lp.Reductions {
+				bind(r.Sym, true, r.Op)
+			}
+			idx := wi.refOf(wf, l.Index)
+			for it := wlo; it < whi; it++ {
+				wi.arena[idx.Base] = lo + float64(it)*step
+				if _, err := wi.execStmts(wf, l.Body); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+			atomic.AddInt64(&opsTotal, wi.ops)
+		}(w, wlo, whi)
+	}
+	wg.Wait()
+	in.ops += atomic.LoadInt64(&opsTotal)
+	for _, err := range errs {
+		if err != nil {
+			return sigNone, err
+		}
+	}
+	in.finalizeParallel(f, l, lp, workers, trips)
+	return sigNone, nil
+}
+
+// finalizeParallel merges reduction accumulators into the shared variables
+// and writes back last-iteration private copies (§6.3.1, §6.3.4).
+func (in *Interp) finalizeParallel(f *frame, l *ir.DoLoop, lp *LoopPlan, workers int, trips int64) {
+	bases := in.workerBase[l]
+	for _, red := range lp.Reductions {
+		shared := in.refOf(f, red.Sym)
+		n := red.Sym.NElems()
+		if !lp.Staggered || workers == 1 || n < int64(lp.Chunks) || lp.Chunks < 2 {
+			// One lock: processors finalize serially (the §6.3.2 baseline).
+			var mu sync.Mutex
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					mu.Lock()
+					defer mu.Unlock()
+					base := bases[red.Sym][w]
+					for k := int64(0); k < n; k++ {
+						v := in.arena[base+k]
+						if v != identity(red.Op) {
+							in.arena[shared.Base+k] = combine(red.Op, in.arena[shared.Base+k], v)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			continue
+		}
+		// Staggered multi-lock finalization: chunk c guarded by locks[c];
+		// worker w visits chunks w, w+1, ..., wrapping (§6.3.4).
+		chunks := lp.Chunks
+		locks := make([]sync.Mutex, chunks)
+		per := (n + int64(chunks) - 1) / int64(chunks)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				base := bases[red.Sym][w]
+				for i := 0; i < chunks; i++ {
+					c := (w + i) % chunks
+					lo := int64(c) * per
+					hi := lo + per
+					if hi > n {
+						hi = n
+					}
+					locks[c].Lock()
+					for k := lo; k < hi; k++ {
+						v := in.arena[base+k]
+						if v != identity(red.Op) {
+							in.arena[shared.Base+k] = combine(red.Op, in.arena[shared.Base+k], v)
+						}
+					}
+					locks[c].Unlock()
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	// No private write-back is needed: the last worker used the original
+	// storage as its private copy (§5.4), so the shared state already equals
+	// the sequential final state. The Finalize list only drives the cost
+	// model's accounting.
+	_ = trips
+}
+
+// workerClone shares the arena but rebases every reachable procedure's
+// locals to this worker's private storage, keeps a private virtual-time
+// counter, and drops hooks (instrumentation is not thread-safe).
+func (in *Interp) workerClone(l *ir.DoLoop, w int) *Interp {
+	base := in.base
+	if locals := in.workerLocals[l]; len(locals) > w && len(locals[w]) > 0 {
+		base = make(map[*ir.Symbol]int64, len(in.base))
+		for k, v := range in.base {
+			base[k] = v
+		}
+		for k, v := range locals[w] {
+			base[k] = v
+		}
+	}
+	return &Interp{
+		Prog:     in.Prog,
+		Out:      in.Out,
+		arena:    in.arena,
+		base:     base,
+		blockOff: in.blockOff,
+		canon:    in.canon,
+		tempBase: in.tempBase,
+		tempTop:  in.tempTop,
+	}
+}
+
+// planFor returns the plan for a loop, if parallel execution is enabled.
+func (in *Interp) planFor(l *ir.DoLoop) *LoopPlan {
+	if in.plan == nil || in.inParallel {
+		return nil
+	}
+	return in.plan.Loops[l]
+}
+
+// Validate compares two arenas element-wise with a tolerance for the
+// floating-point reassociation parallel reductions introduce (§6.5.2).
+func Validate(seq, par []float64, tol float64) error {
+	if len(seq) != len(par) {
+		return fmt.Errorf("exec: arena sizes differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		a, b := seq[i], par[i]
+		if a == b {
+			continue
+		}
+		diff := math.Abs(a - b)
+		scale := math.Max(math.Abs(a), math.Abs(b))
+		if diff > tol*math.Max(scale, 1) {
+			return fmt.Errorf("exec: cell %d differs: %g vs %g", i, a, b)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,221 @@
+package exec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"suifx/internal/ir"
+	"suifx/internal/minif"
+)
+
+const redSrc = `
+      PROGRAM main
+      REAL a(1000), s, b(10)
+      INTEGER i, j
+      s = 0.0
+      DO 5 i = 1, 1000
+        a(i) = MOD(i, 7) + 1
+5     CONTINUE
+      DO 10 i = 1, 1000
+        s = s + a(i)
+        DO 8 j = 1, 10
+          b(j) = b(j) + a(i) * j
+8       CONTINUE
+10    CONTINUE
+      END
+`
+
+func planFor(t *testing.T, prog *ir.Program, workers int, staggered bool) *ParallelPlan {
+	t.Helper()
+	main := prog.Main()
+	var l10 *ir.DoLoop
+	for _, l := range main.Loops() {
+		if l.Label == "10" {
+			l10 = l
+		}
+	}
+	if l10 == nil {
+		t.Fatal("no loop 10")
+	}
+	return &ParallelPlan{
+		Workers: workers,
+		Loops: map[*ir.DoLoop]*LoopPlan{
+			l10: {
+				Reductions: []ReductionPlan{
+					{Sym: main.Lookup("S"), Op: "+"},
+					{Sym: main.Lookup("B"), Op: "+"},
+				},
+				Private:   []*ir.Symbol{main.Lookup("J")},
+				Staggered: staggered,
+				Chunks:    4,
+			},
+		},
+	}
+}
+
+func TestParallelReductionMatchesSequential(t *testing.T) {
+	seqProg := minif.MustParse("t", redSrc)
+	seq := New(seqProg)
+	if err := seq.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, stag := range []bool{false, true} {
+			parProg := minif.MustParse("t", redSrc)
+			plan := planFor(t, parProg, workers, stag)
+			par := NewWithPlan(parProg, plan)
+			if err := par.Run(); err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			// Compare only the sequential arena's cells (the parallel arena
+			// has extra private blocks).
+			n := seq.ArenaSize()
+			if err := Validate(seq.Arena()[:n], par.Arena()[:n], 1e-9); err != nil {
+				t.Fatalf("workers=%d staggered=%v: %v", workers, stag, err)
+			}
+		}
+	}
+}
+
+func TestParallelPrivateFinalization(t *testing.T) {
+	src := `
+      PROGRAM main
+      REAL a(100), t, last
+      INTEGER i
+      DO 10 i = 1, 100
+        t = i * 2.0
+        a(i) = t
+10    CONTINUE
+      last = t
+      END
+`
+	seqProg := minif.MustParse("t", src)
+	seq := New(seqProg)
+	if err := seq.Run(); err != nil {
+		t.Fatal(err)
+	}
+	parProg := minif.MustParse("t", src)
+	main := parProg.Main()
+	l := main.Loops()[0]
+	plan := &ParallelPlan{
+		Workers: 4,
+		Loops: map[*ir.DoLoop]*LoopPlan{
+			l: {
+				Private:  []*ir.Symbol{main.Lookup("T")},
+				Finalize: []*ir.Symbol{main.Lookup("T")},
+			},
+		},
+	}
+	par := NewWithPlan(parProg, plan)
+	if err := par.Run(); err != nil {
+		t.Fatal(err)
+	}
+	n := seq.ArenaSize()
+	if err := Validate(seq.Arena()[:n], par.Arena()[:n], 0); err != nil {
+		t.Fatalf("private finalization mismatch: %v", err)
+	}
+}
+
+func TestParallelSparseHistogram(t *testing.T) {
+	src := `
+      PROGRAM main
+      REAL hist(50)
+      INTEGER ind(1000), i
+      DO 5 i = 1, 1000
+        ind(i) = MOD(i * 37, 50) + 1
+5     CONTINUE
+      DO 10 i = 1, 1000
+        hist(ind(i)) = hist(ind(i)) + 1.0
+10    CONTINUE
+      END
+`
+	seqProg := minif.MustParse("t", src)
+	seq := New(seqProg)
+	if err := seq.Run(); err != nil {
+		t.Fatal(err)
+	}
+	parProg := minif.MustParse("t", src)
+	main := parProg.Main()
+	var l10 *ir.DoLoop
+	for _, l := range main.Loops() {
+		if l.Label == "10" {
+			l10 = l
+		}
+	}
+	plan := &ParallelPlan{
+		Workers: 4,
+		Loops: map[*ir.DoLoop]*LoopPlan{
+			l10: {Reductions: []ReductionPlan{{Sym: main.Lookup("HIST"), Op: "+"}}, Staggered: true, Chunks: 8},
+		},
+	}
+	par := NewWithPlan(parProg, plan)
+	if err := par.Run(); err != nil {
+		t.Fatal(err)
+	}
+	n := seq.ArenaSize()
+	if err := Validate(seq.Arena()[:n], par.Arena()[:n], 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for any worker count and data seed, the parallel execution of
+// an approved loop equals sequential execution (DESIGN.md invariant).
+func TestQuickParallelEqualsSequential(t *testing.T) {
+	f := func(seed uint8, workersRaw uint8) bool {
+		workers := int(workersRaw%7) + 1
+		src := `
+      PROGRAM main
+      REAL a(200), mx
+      INTEGER i, seed
+      seed = ` + itoa(int(seed)) + `
+      mx = -1E30
+      DO 5 i = 1, 200
+        a(i) = MOD(i * 13 + seed, 101)
+5     CONTINUE
+      DO 10 i = 1, 200
+        IF (a(i) .GT. mx) mx = a(i)
+10    CONTINUE
+      END
+`
+		seqProg := minif.MustParse("t", src)
+		seq := New(seqProg)
+		if err := seq.Run(); err != nil {
+			return false
+		}
+		parProg := minif.MustParse("t", src)
+		main := parProg.Main()
+		var l10 *ir.DoLoop
+		for _, l := range main.Loops() {
+			if l.Label == "10" {
+				l10 = l
+			}
+		}
+		plan := &ParallelPlan{
+			Workers: workers,
+			Loops: map[*ir.DoLoop]*LoopPlan{
+				l10: {Reductions: []ReductionPlan{{Sym: main.Lookup("MX"), Op: "MAX"}}},
+			},
+		}
+		par := NewWithPlan(parProg, plan)
+		if err := par.Run(); err != nil {
+			return false
+		}
+		n := seq.ArenaSize()
+		return Validate(seq.Arena()[:n], par.Arena()[:n], 0) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,129 @@
+package exec
+
+import (
+	"sort"
+
+	"suifx/internal/ir"
+)
+
+// LoopProfile is the Loop Profile Analyzer's record for one loop (§2.5.1):
+// total virtual time (operations), invocations, and iterations.
+type LoopProfile struct {
+	ID          string
+	Loop        *ir.DoLoop
+	Proc        string
+	Invocations int64
+	Iterations  int64
+	// TotalOps counts operations executed inside the loop (inclusive of
+	// nested loops and callees).
+	TotalOps int64
+	// Depth>0 entries were nested under another active loop when sampled.
+	NestedOps int64
+}
+
+// OpsPerInvocation is the loop's average computation per invocation.
+func (lp *LoopProfile) OpsPerInvocation() float64 {
+	if lp.Invocations == 0 {
+		return 0
+	}
+	return float64(lp.TotalOps) / float64(lp.Invocations)
+}
+
+// Profiler implements the Loop Profile Analyzer: it instruments loop entry
+// and exit and records per-loop virtual time.
+type Profiler struct {
+	in      *Interp
+	loops   map[*ir.DoLoop]*LoopProfile
+	stack   []profEntry
+	totalAt int64
+}
+
+type profEntry struct {
+	lp      *LoopProfile
+	startOp int64
+}
+
+// NewProfiler attaches a profiler to an interpreter (chained after any
+// existing hooks).
+func NewProfiler(in *Interp) *Profiler {
+	p := &Profiler{in: in, loops: map[*ir.DoLoop]*LoopProfile{}}
+	prevEnter, prevExit, prevIter := in.Hooks.OnLoopEnter, in.Hooks.OnLoopExit, in.Hooks.OnLoopIter
+	in.Hooks.OnLoopEnter = func(proc string, l *ir.DoLoop) {
+		if prevEnter != nil {
+			prevEnter(proc, l)
+		}
+		lp := p.loops[l]
+		if lp == nil {
+			lp = &LoopProfile{ID: l.ID(proc), Loop: l, Proc: proc}
+			p.loops[l] = lp
+		}
+		lp.Invocations++
+		p.stack = append(p.stack, profEntry{lp: lp, startOp: in.Ops()})
+	}
+	in.Hooks.OnLoopIter = func(proc string, l *ir.DoLoop, iter int64) {
+		if prevIter != nil {
+			prevIter(proc, l, iter)
+		}
+		if lp := p.loops[l]; lp != nil {
+			lp.Iterations++
+		}
+	}
+	in.Hooks.OnLoopExit = func(proc string, l *ir.DoLoop) {
+		if prevExit != nil {
+			prevExit(proc, l)
+		}
+		if len(p.stack) == 0 {
+			return
+		}
+		top := p.stack[len(p.stack)-1]
+		p.stack = p.stack[:len(p.stack)-1]
+		delta := in.Ops() - top.startOp
+		top.lp.TotalOps += delta
+		if len(p.stack) > 0 {
+			top.lp.NestedOps += 0 // inclusive accounting; parents include us
+		}
+	}
+	return p
+}
+
+// TotalOps returns total program virtual time after the run.
+func (p *Profiler) TotalOps() int64 { return p.in.Ops() }
+
+// Profiles returns all loop profiles sorted by decreasing total time.
+func (p *Profiler) Profiles() []*LoopProfile {
+	out := make([]*LoopProfile, 0, len(p.loops))
+	for _, lp := range p.loops {
+		out = append(out, lp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalOps != out[j].TotalOps {
+			return out[i].TotalOps > out[j].TotalOps
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Of returns the profile for a specific loop (nil if never executed).
+func (p *Profiler) Of(l *ir.DoLoop) *LoopProfile { return p.loops[l] }
+
+// Coverage returns the fraction of total time spent in the given loops
+// (counting outermost occurrences only, to avoid double counting nests —
+// callers pass the set of chosen parallel loops).
+func (p *Profiler) Coverage(loops []*ir.DoLoop) float64 {
+	tot := p.TotalOps()
+	if tot == 0 {
+		return 0
+	}
+	var in int64
+	for _, l := range loops {
+		if lp := p.loops[l]; lp != nil {
+			in += lp.TotalOps
+		}
+	}
+	f := float64(in) / float64(tot)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}

@@ -1,0 +1,534 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"suifx/internal/exec"
+	"suifx/internal/ir"
+	"suifx/internal/issa"
+	"suifx/internal/machine"
+	"suifx/internal/parallel"
+	"suifx/internal/region"
+	"suifx/internal/slice"
+	"suifx/internal/workloads"
+)
+
+var ch4Apps = []string{"mdg", "arc3d", "hydro", "flo88"}
+
+// Fig4_1 reproduces "Program information and results of automatic
+// parallelization": lines, coverage, granularity and 8-processor speedup
+// under the automatic compiler.
+func Fig4_1() *Table {
+	t := &Table{
+		ID:     "Fig 4-1",
+		Title:  "Program information and results of automatic parallelization",
+		Header: []string{"program", "description", "data set", "lines", "coverage", "granularity", "speedup(8p)"},
+	}
+	model := machine.AlphaServer8400()
+	for _, name := range ch4Apps {
+		w := workloads.ByName(name)
+		ar := runApp(w, ch4Config(w, false))
+		mw := ar.MachineWorkload()
+		t.Rows = append(t.Rows, []string{
+			name, w.Description, w.DataSet,
+			itoa(ar.Prog.LineCount(true)),
+			pct(model.Coverage(mw)),
+			ms(model.GranularityMs(mw)),
+			f1(model.Speedup(mw, 8)),
+		})
+	}
+	return t
+}
+
+// loopCounters tallies the Fig 4-7 loop categories for one app.
+type loopCounters struct {
+	executed, sequential, important, noDyn, userPar, remaining [2]int // [inter, intra]
+}
+
+func idx(inter bool) int {
+	if inter {
+		return 0
+	}
+	return 1
+}
+
+// fig47For computes the per-app counters.
+func fig47For(w *workloads.Workload) loopCounters {
+	var c loopCounters
+	auto := runApp(w, ch4Config(w, false))
+	user := parallel.ParallelizeWith(auto.Sum, ch4Config(w, true))
+	model := machine.AlphaServer8400()
+	total := float64(auto.Prof.TotalOps())
+
+	userPar := map[string]bool{}
+	for id := range w.UserAssertions {
+		userPar[id] = true
+	}
+	// A loop nested (statically or through calls) under a user-parallelized
+	// loop needs no further attention.
+	underUser := map[string]bool{}
+	for _, li := range user.Ordered {
+		if userPar[li.ID()] && li.Dep.Parallelizable {
+			markRegionLoops(user, li.Region.Body(), underUser)
+			for _, call := range li.Region.AllCallSites() {
+				markCalleeLoops(user, call.Name, underUser)
+			}
+		}
+	}
+
+	for _, li := range auto.Par.Ordered {
+		lp := auto.Prof.Of(li.Region.Loop)
+		if lp == nil {
+			continue // never executed
+		}
+		inter := auto.Sum.Reg.LoopNest(li.Region) == "inter"
+		k := idx(inter)
+		c.executed[k]++
+		if li.Dep.Parallelizable {
+			continue
+		}
+		c.sequential[k]++
+		if li.UnderParallel || li.Dep.HasIO {
+			continue
+		}
+		covPct := float64(lp.TotalOps) / total * 100
+		granMs := lp.OpsPerInvocation() * model.CyclesPerOp / (model.ClockMHz * 1e3)
+		if covPct < 2 || granMs < 0.05 {
+			continue
+		}
+		c.important[k]++
+		if auto.Dyn.Carried(li.Region.Loop) != 0 {
+			continue // real dynamic deps: the user declines these (§2.6)
+		}
+		c.noDyn[k]++
+		switch {
+		case userPar[li.ID()]:
+			c.userPar[k]++
+		case underUser[li.ID()]:
+			// nested inside a user-parallelized loop: no attention needed
+		default:
+			c.remaining[k]++
+		}
+	}
+	return c
+}
+
+// markRegionLoops marks every loop region nested under r.
+func markRegionLoops(res *parallel.Result, r *region.Region, set map[string]bool) {
+	for _, c := range r.Children {
+		if c.Kind == region.LoopRegion {
+			set[c.ID()] = true
+			markRegionLoops(res, c.Body(), set)
+		}
+	}
+}
+
+// markCalleeLoops marks the loops of proc and its transitive callees.
+func markCalleeLoops(res *parallel.Result, proc string, set map[string]bool) {
+	p := res.Prog.ByName[proc]
+	if p == nil {
+		return
+	}
+	for _, l := range p.Loops() {
+		set[l.ID(p.Name)] = true
+	}
+	for _, callee := range res.Prog.CallGraph()[proc] {
+		markCalleeLoops(res, callee, set)
+	}
+}
+
+// Fig4_7 reproduces "Number of loops requiring user intervention".
+func Fig4_7() *Table {
+	t := &Table{
+		ID:     "Fig 4-7",
+		Title:  "Number of loops requiring user intervention (inter/intra)",
+		Header: []string{"category", "mdg", "arc3d", "hydro", "flo88", "total"},
+	}
+	apps := []string{"mdg", "arc3d", "hydro", "flo88"}
+	cs := make([]loopCounters, len(apps))
+	for i, n := range apps {
+		cs[i] = fig47For(workloads.ByName(n))
+	}
+	row := func(label string, get func(c loopCounters) [2]int) {
+		cells := []string{label}
+		tot := 0
+		for _, c := range cs {
+			v := get(c)
+			cells = append(cells, fmt.Sprintf("%d/%d", v[0], v[1]))
+			tot += v[0] + v[1]
+		}
+		cells = append(cells, itoa(tot))
+		t.Rows = append(t.Rows, cells)
+	}
+	row("executed", func(c loopCounters) [2]int { return c.executed })
+	row("sequential", func(c loopCounters) [2]int { return c.sequential })
+	row("important", func(c loopCounters) [2]int { return c.important })
+	row("important, no dynamic dep", func(c loopCounters) [2]int { return c.noDyn })
+	row("user-parallelized", func(c loopCounters) [2]int { return c.userPar })
+	row("remaining important", func(c loopCounters) [2]int { return c.remaining })
+	t.Notes = append(t.Notes, "cells are inter/intra counts as in the paper's split columns")
+	return t
+}
+
+// SliceSizes holds one examined loop's Fig 4-8 row.
+type SliceSizes struct {
+	Loop                               string
+	LoopLines                          int
+	ProgFull, ProgLoop, ProgCR, ProgAR int
+	CtrlFull, CtrlLoop, CtrlCR, CtrlAR int
+}
+
+// Fig4_8 reproduces "Average size of the slices requiring intervention":
+// program and control slices of the blocking variables' references, as a
+// percentage of the loop size, unrestricted / in-loop / code-region- /
+// array-restricted.
+func Fig4_8() *Table {
+	t := &Table{
+		ID:     "Fig 4-8",
+		Title:  "Slice sizes for user-examined loops (% of loop size)",
+		Header: []string{"loop", "lines", "prog full", "prog loop", "prog CR", "prog AR", "ctrl full", "ctrl loop", "ctrl CR", "ctrl AR"},
+	}
+	var sum SliceSizes
+	n := 0
+	for _, name := range ch4Apps {
+		w := workloads.ByName(name)
+		rows := sliceSizesFor(w)
+		for _, r := range rows {
+			loopPct := func(v int) string {
+				if r.LoopLines == 0 {
+					return "-"
+				}
+				return fmt.Sprintf("%d%%", v*100/r.LoopLines)
+			}
+			t.Rows = append(t.Rows, []string{
+				r.Loop, itoa(r.LoopLines),
+				itoa(r.ProgFull), loopPct(r.ProgLoop), loopPct(r.ProgCR), loopPct(r.ProgAR),
+				itoa(r.CtrlFull), loopPct(r.CtrlLoop), loopPct(r.CtrlCR), loopPct(r.CtrlAR),
+			})
+			sum.LoopLines += r.LoopLines
+			sum.ProgLoop += r.ProgLoop
+			sum.ProgCR += r.ProgCR
+			sum.ProgAR += r.ProgAR
+			sum.CtrlLoop += r.CtrlLoop
+			sum.CtrlCR += r.CtrlCR
+			sum.CtrlAR += r.CtrlAR
+			n++
+		}
+	}
+	if n > 0 && sum.LoopLines > 0 {
+		t.Rows = append(t.Rows, []string{
+			"average", itoa(sum.LoopLines / n), "",
+			fmt.Sprintf("%d%%", sum.ProgLoop*100/sum.LoopLines),
+			fmt.Sprintf("%d%%", sum.ProgCR*100/sum.LoopLines),
+			fmt.Sprintf("%d%%", sum.ProgAR*100/sum.LoopLines),
+			"",
+			fmt.Sprintf("%d%%", sum.CtrlLoop*100/sum.LoopLines),
+			fmt.Sprintf("%d%%", sum.CtrlCR*100/sum.LoopLines),
+			fmt.Sprintf("%d%%", sum.CtrlAR*100/sum.LoopLines),
+		})
+	}
+	return t
+}
+
+// sliceSizesFor computes the slice metrics for each user-examined loop.
+func sliceSizesFor(w *workloads.Workload) []SliceSizes {
+	prog := w.Fresh()
+	g := issa.Build(prog)
+	res := parallel.Parallelize(prog, parallel.Config{UseReductions: true})
+	var out []SliceSizes
+	var ids []string
+	for id := range w.UserAssertions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		li := res.LoopByID(id)
+		if li == nil {
+			continue
+		}
+		lo, hi := li.Region.Lines()
+		rg := slice.Region{Proc: li.Region.Proc.Name, Lo: lo, Hi: hi}
+		row := SliceSizes{Loop: id, LoopLines: loopCodeLines(prog, li)}
+		// Up to two read references of each blocking variable inside the
+		// loop (the paper shows the pair sharing the dependence); metrics
+		// are averaged over the references examined.
+		nq := 0
+		for _, b := range li.Dep.Blocking {
+			lines := useLines(prog, g, li, b.Sym.Name)
+			for _, ln := range lines {
+				nq++
+				full := slice.New(g, slice.Config{Kind: slice.Program})
+				r := full.OfUse(rg.Proc, b.Sym.Name, ln)
+				row.ProgFull += r.Size()
+				row.ProgLoop += r.SizeIn(rg)
+				cr := slice.New(g, slice.Config{Kind: slice.Program, Region: &rg})
+				row.ProgCR += cr.OfUse(rg.Proc, b.Sym.Name, ln).SizeIn(rg)
+				ar := slice.New(g, slice.Config{Kind: slice.Program, Region: &rg, ArrayRestricted: true})
+				row.ProgAR += ar.OfUse(rg.Proc, b.Sym.Name, ln).SizeIn(rg)
+
+				cfull := slice.New(g, slice.Config{Kind: slice.Program})
+				c := cfull.ControlSliceOfLine(rg.Proc, ln)
+				row.CtrlFull += c.Size()
+				row.CtrlLoop += c.SizeIn(rg)
+				ccr := slice.New(g, slice.Config{Kind: slice.Program, Region: &rg})
+				row.CtrlCR += ccr.ControlSliceOfLine(rg.Proc, ln).SizeIn(rg)
+				car := slice.New(g, slice.Config{Kind: slice.Program, Region: &rg, ArrayRestricted: true})
+				row.CtrlAR += car.ControlSliceOfLine(rg.Proc, ln).SizeIn(rg)
+			}
+		}
+		if nq > 1 {
+			row.ProgFull /= nq
+			row.ProgLoop /= nq
+			row.ProgCR /= nq
+			row.ProgAR /= nq
+			row.CtrlFull /= nq
+			row.CtrlLoop /= nq
+			row.CtrlCR /= nq
+			row.CtrlAR /= nq
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// useLines finds source lines inside the loop where the named variable is
+// read (up to 2, matching the paper's pair of references); only lines with
+// recorded reaching definitions qualify (writes alone have no use to slice).
+func useLines(prog *ir.Program, g *issa.Graph, li *parallel.LoopInfo, name string) []int {
+	seen := map[int]bool{}
+	var out []int
+	proc := li.Region.Proc.Name
+	ir.WalkStmts(li.Region.Loop.Body, func(s ir.Stmt) bool {
+		ir.WalkExprs(s, func(e ir.Expr) {
+			ir.WalkExpr(e, func(x ir.Expr) {
+				var sym *ir.Symbol
+				switch r := x.(type) {
+				case *ir.VarRef:
+					sym = r.Sym
+				case *ir.ArrayRef:
+					sym = r.Sym
+				}
+				if sym == nil || sym.Name != name {
+					return
+				}
+				ln := x.Position().Line
+				if !seen[ln] && len(out) < 2 && len(g.FindUse(proc, name, ln)) > 0 {
+					seen[ln] = true
+					out = append(out, ln)
+				}
+			})
+		})
+		return true
+	})
+	return out
+}
+
+// loopCodeLines counts code lines in the loop plus its (transitive) callees.
+func loopCodeLines(prog *ir.Program, li *parallel.LoopInfo) int {
+	lo, hi := li.Region.Lines()
+	n := 0
+	for l := lo; l <= hi; l++ {
+		if prog.SourceLine(l) != "" {
+			n++
+		}
+	}
+	seen := map[string]bool{}
+	var add func(proc string)
+	add = func(proc string) {
+		if seen[proc] {
+			return
+		}
+		seen[proc] = true
+		p := prog.ByName[proc]
+		if p == nil {
+			return
+		}
+		n += p.EndLine - p.Pos.Line + 1
+		for _, c := range prog.CallGraph()[proc] {
+			add(c)
+		}
+	}
+	for _, c := range li.Region.AllCallSites() {
+		add(c.Name)
+	}
+	return n
+}
+
+// Fig4_9 reproduces "User-assisted parallelization": how many variables the
+// compiler resolved automatically vs how many the user asserted, across the
+// user-parallelized loops.
+func Fig4_9() *Table {
+	t := &Table{
+		ID:     "Fig 4-9",
+		Title:  "Variables analyzed automatically vs by the user in user-parallelized loops",
+		Header: []string{"category", "mdg", "arc3d", "hydro", "flo88", "total"},
+	}
+	type counts map[string]int
+	all := map[string]counts{}
+	cats := []string{"parallel arrays", "privatizable arrays", "privatizable scalars",
+		"reduction arrays", "reduction scalars", "user privatizable arrays", "user privatizable scalars"}
+	for _, name := range ch4Apps {
+		w := workloads.ByName(name)
+		res := parallel.Parallelize(w.Fresh(), ch4Config(w, true))
+		c := counts{}
+		for id := range w.UserAssertions {
+			li := res.LoopByID(id)
+			if li == nil {
+				continue
+			}
+			for _, vr := range li.Dep.Vars {
+				arr := vr.Sym.IsArray()
+				switch {
+				case vr.ByAssertion && arr:
+					c["user privatizable arrays"]++
+				case vr.ByAssertion:
+					c["user privatizable scalars"]++
+				case vr.Class.String() == "parallel" && arr:
+					c["parallel arrays"]++
+				case vr.Class.String() == "private" && arr:
+					c["privatizable arrays"]++
+				case vr.Class.String() == "private":
+					c["privatizable scalars"]++
+				case vr.Class.String() == "reduction" && arr:
+					c["reduction arrays"]++
+				case vr.Class.String() == "reduction":
+					c["reduction scalars"]++
+				}
+			}
+		}
+		all[name] = c
+	}
+	for _, cat := range cats {
+		row := []string{cat}
+		tot := 0
+		for _, name := range ch4Apps {
+			row = append(row, itoa(all[name][cat]))
+			tot += all[name][cat]
+		}
+		row = append(row, itoa(tot))
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Fig4_10 reproduces "Results of parallelization with and without user
+// intervention".
+func Fig4_10() *Table {
+	t := &Table{
+		ID:     "Fig 4-10",
+		Title:  "Parallelization with and without user input",
+		Header: []string{"program", "mode", "coverage", "granularity", "speedup(4p)", "speedup(8p)"},
+	}
+	model := machine.AlphaServer8400()
+	for _, name := range ch4Apps {
+		w := workloads.ByName(name)
+		for _, user := range []bool{false, true} {
+			ar := runApp(w, ch4Config(w, user))
+			mw := ar.MachineWorkload()
+			mode := "automatic"
+			if user {
+				mode = "with user input"
+			}
+			t.Rows = append(t.Rows, []string{
+				name, mode,
+				pct(model.Coverage(mw)),
+				ms(model.GranularityMs(mw)),
+				f1(model.Speedup(mw, 4)),
+				f1(model.Speedup(mw, 8)),
+			})
+		}
+	}
+	return t
+}
+
+// BuildPlan converts a parallelization result into a runtime execution plan
+// for the chosen loops: privatized variables (inner indices included),
+// last-iteration finalization lists, and reduction accumulators with the
+// staggered finalization of §6.3.4.
+func BuildPlan(res *parallel.Result, workers int) *exec.ParallelPlan {
+	plan := &exec.ParallelPlan{Workers: workers, Loops: map[*ir.DoLoop]*exec.LoopPlan{}}
+	for _, li := range res.Ordered {
+		if !li.Chosen {
+			continue
+		}
+		lp := &exec.LoopPlan{Staggered: true, Chunks: 4}
+		for _, vr := range li.Dep.Vars {
+			switch vr.Class.String() {
+			case "private":
+				lp.Private = append(lp.Private, vr.Sym)
+				if vr.NeedsFinalization {
+					lp.Finalize = append(lp.Finalize, vr.Sym)
+				}
+			case "reduction":
+				lp.Reductions = append(lp.Reductions, exec.ReductionPlan{Sym: vr.Sym, Op: vr.RedOp})
+			case "index":
+				if vr.Sym != li.Region.Loop.Index {
+					lp.Private = append(lp.Private, vr.Sym)
+				}
+			}
+		}
+		plan.Loops[li.Region.Loop] = lp
+	}
+	return plan
+}
+
+// ValidateUserParallelization executes each user-parallelized application
+// both sequentially and with the goroutine runtime on the asserted plan, and
+// checks the results agree (the §6.5.2 validation).
+func ValidateUserParallelization(name string, workers int) error {
+	w := workloads.ByName(name)
+	seqProg := w.Fresh()
+	seq := exec.New(seqProg)
+	if err := seq.Run(); err != nil {
+		return err
+	}
+	parProg := w.Fresh()
+	res := parallel.Parallelize(parProg, ch4Config(w, true))
+	plan := BuildPlan(res, workers)
+	par := exec.NewWithPlan(parProg, plan)
+	if err := par.Run(); err != nil {
+		return err
+	}
+	// Privatized variables and the locals of procedures called inside
+	// parallel loops are dead storage after the loops; their shared cells
+	// legitimately differ from a sequential run, so mask them out. (The
+	// base arena layouts are identical: worker blocks are appended after
+	// the static allocation.)
+	n := seq.ArenaSize()
+	seqA := append([]float64(nil), seq.Arena()[:n]...)
+	parA := append([]float64(nil), par.Arena()[:n]...)
+	mask := func(lo, hi int64) {
+		for i := lo; i <= hi && i < int64(n); i++ {
+			seqA[i], parA[i] = 0, 0
+		}
+	}
+	for _, li := range res.Ordered {
+		if !li.Chosen {
+			continue
+		}
+		proc := li.Region.Proc.Name
+		for _, vr := range li.Dep.Vars {
+			cls := vr.Class.String()
+			if cls == "private" || cls == "index" {
+				if lo, hi, ok := par.SymRange(proc, vr.Sym.Name); ok {
+					mask(lo, hi)
+				}
+			}
+		}
+		for _, c := range li.Region.AllCallSites() {
+			callee := parProg.ByName[c.Name]
+			if callee == nil {
+				continue
+			}
+			for _, sym := range callee.SortedSyms() {
+				if sym.Common == "" && !sym.IsParam {
+					if lo, hi, ok := par.SymRange(callee.Name, sym.Name); ok {
+						mask(lo, hi)
+					}
+				}
+			}
+		}
+	}
+	return exec.Validate(seqA, parA, 1e-6)
+}

@@ -1,0 +1,223 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation chapters from this reproduction's own analyses, profiles and
+// machine models. Each FigN_M function returns a Table whose rows parallel
+// the paper's; EXPERIMENTS.md records the measured-vs-paper comparison.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"suifx/internal/depend"
+	"suifx/internal/exec"
+	"suifx/internal/ir"
+	"suifx/internal/liveness"
+	"suifx/internal/machine"
+	"suifx/internal/parallel"
+	"suifx/internal/region"
+	"suifx/internal/summary"
+	"suifx/internal/workloads"
+)
+
+// Table is one reproduced table/figure.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// AppRun bundles one workload's static analysis and profiled execution.
+type AppRun struct {
+	W    *workloads.Workload
+	Prog *ir.Program
+	Sum  *summary.Analysis
+	Par  *parallel.Result
+	Prof *exec.Profiler
+	Dyn  *exec.DynDep
+	In   *exec.Interp
+}
+
+// runApp analyzes and profiles one workload under a configuration.
+func runApp(w *workloads.Workload, cfg parallel.Config) *AppRun {
+	prog := w.Fresh()
+	return runAppOn(w, prog, summary.Analyze(prog), cfg)
+}
+
+// runAppOn profiles an already-analyzed program (so liveness oracles built
+// on the same summary keep their region identity).
+func runAppOn(w *workloads.Workload, prog *ir.Program, sum *summary.Analysis, cfg parallel.Config) *AppRun {
+	par := parallel.ParallelizeWith(sum, cfg)
+	in := exec.New(prog)
+	prof := exec.NewProfiler(in)
+	dyn := exec.NewDynDep(in)
+	// The analyzer ignores variables the compiler already resolved —
+	// inductions and reductions (§2.5.2).
+	type rng struct{ lo, hi int64 }
+	ignore := map[*ir.DoLoop][]rng{}
+	for _, li := range par.Ordered {
+		for _, vr := range li.Dep.Vars {
+			if vr.Class != depend.ClassIndex && vr.Class != depend.ClassReduction {
+				continue
+			}
+			if lo, hi, ok := in.SymRange(li.Region.Proc.Name, vr.Sym.Name); ok {
+				ignore[li.Region.Loop] = append(ignore[li.Region.Loop], rng{lo, hi})
+			}
+		}
+	}
+	dyn.IgnoreVar = func(l *ir.DoLoop, addr int64) bool {
+		for _, r := range ignore[l] {
+			if addr >= r.lo && addr <= r.hi {
+				return true
+			}
+		}
+		return false
+	}
+	if err := in.Run(); err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", w.Name, err))
+	}
+	return &AppRun{W: w, Prog: prog, Sum: sum, Par: par, Prof: prof, Dyn: dyn, In: in}
+}
+
+// ch4Config is the Chapter 4 compiler: reductions on, array liveness off.
+func ch4Config(w *workloads.Workload, userAssisted bool) parallel.Config {
+	cfg := parallel.Config{UseReductions: true}
+	if userAssisted {
+		cfg.Assertions = w.Assertions()
+	}
+	return cfg
+}
+
+// ch5Config adds the full array liveness oracle.
+func ch5Config(sum *summary.Analysis, variant liveness.Variant) parallel.Config {
+	live := liveness.Analyze(sum, variant)
+	return parallel.Config{UseReductions: true, DeadAtExit: live.Oracle()}
+}
+
+// MachineWorkload converts a run into the cost model's terms, honoring the
+// workload's memory-behaviour metadata.
+func (ar *AppRun) MachineWorkload() machine.Workload {
+	var w machine.Workload
+	streaming := map[string]bool{}
+	for _, id := range ar.W.StreamingLoops {
+		streaming[id] = true
+	}
+	conflicting := map[string]bool{}
+	for _, id := range ar.W.ConflictingDecomp {
+		conflicting[id] = true
+	}
+	// Only the chosen parallel loops appear as LoopWork: the parallelizer
+	// guarantees they are dynamically disjoint, so their times partition the
+	// run against the serial remainder (everything else runs sequentially).
+	var loopOps int64
+	for _, li := range ar.Par.Ordered {
+		if !li.Chosen {
+			continue
+		}
+		lp := ar.Prof.Of(li.Region.Loop)
+		if lp == nil {
+			continue
+		}
+		loopOps += lp.TotalOps
+		lw := machine.LoopWork{
+			ID:          li.ID(),
+			Invocations: lp.Invocations,
+			TotalOps:    lp.TotalOps,
+			Parallel:    true,
+			Streaming:   streaming[li.ID()],
+		}
+		if lw.Streaming {
+			lw.StreamPasses = lp.Iterations
+		}
+		if conflicting[li.ID()] && li.Chosen {
+			lw.ConflictingDecomp = true
+		}
+		for _, vr := range li.Dep.Vars {
+			switch vr.Class {
+			case depend.ClassReduction:
+				lw.ReductionElems += vr.Sym.NElems()
+				lw.StaggeredFinalize = true
+			case depend.ClassPrivate:
+				lw.PrivateElems += vr.Sym.NElems()
+				if vr.NeedsFinalization {
+					lw.FinalizeElems += vr.Sym.NElems()
+				}
+			}
+		}
+		lw.FootprintElems = loopFootprint(ar.Sum, li.Region)
+		w.Loops = append(w.Loops, lw)
+	}
+	w.SerialOps = ar.Prof.TotalOps() - loopOps
+	if w.SerialOps < 0 {
+		w.SerialOps = 0
+	}
+	return w
+}
+
+func loopFootprint(sum *summary.Analysis, r *region.Region) int64 {
+	rs := sum.RegionSum[r]
+	if rs == nil {
+		return 0
+	}
+	var n int64
+	for _, sym := range rs.SortedSyms() {
+		if sym.IsArray() {
+			n += sym.NElems()
+		}
+	}
+	return n
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.0f%%", f*100) }
+func ms(f float64) string  { return fmt.Sprintf("%.3f ms", f) }
+func f1(f float64) string  { return fmt.Sprintf("%.1f", f) }
+func itoa(n int) string    { return fmt.Sprintf("%d", n) }
+func i64(n int64) string   { return fmt.Sprintf("%d", n) }
+
+// scaledModel shrinks a machine's cache so our scaled-down working sets
+// exercise the same cache-pressure regimes as the paper's full-size runs
+// (see DESIGN.md's hardware substitution).
+func scaledModel(m *machine.Model, cacheElems int64) *machine.Model {
+	c := *m
+	c.CacheElems = cacheElems
+	return &c
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"suifx/internal/exec"
+	"suifx/internal/minif"
+	"suifx/internal/parallel"
+)
+
+// genProgram builds a random MiniF program from a small grammar of loop
+// bodies: independent writes, covered temporaries, scalar and array
+// reductions, guarded updates, and genuine recurrences. Whatever the
+// parallelizer approves must execute identically in parallel — the
+// DESIGN.md end-to-end soundness invariant.
+func genProgram(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("      PROGRAM rnd\n")
+	b.WriteString("      REAL a(128), b(128), c(128), s, t\n")
+	b.WriteString("      INTEGER i, j, k\n")
+	b.WriteString("      s = 0.0\n      t = 1.0\n")
+	b.WriteString("      DO 5 i = 1, 128\n")
+	fmt.Fprintf(&b, "        a(i) = MOD(i * %d, 53) * 0.25\n", 3+r.Intn(40))
+	b.WriteString("        b(i) = 1.0\n        c(i) = 0.0\n5     CONTINUE\n")
+
+	bodies := []string{
+		"        b(i) = a(i) * 2.0 + 1.0\n",
+		"        c(i) = a(i) + b(i)\n",
+		"        t = a(i) * 0.5\n        b(i) = t + c(i)\n",
+		"        s = s + a(i) * 0.125\n",
+		"        IF (a(i) .GT. 6.0) c(i) = a(i)\n",
+		"        c(i) = c(i) + b(i) * 0.25\n",
+		"        IF (a(i) .LT. s) s = a(i)\n",
+		"        b(i) = b(i-1) + a(i)\n", // recurrence: must stay sequential
+		"        DO %d j = 1, 16\n          c(j) = a(i) + j\n%d      CONTINUE\n        b(i) = c(1) + c(16)\n",
+	}
+	nloops := 2 + r.Intn(4)
+	label := 100
+	for n := 0; n < nloops; n++ {
+		lo := 2
+		fmt.Fprintf(&b, "      DO %d i = %d, 128\n", label, lo)
+		nst := 1 + r.Intn(3)
+		for k := 0; k < nst; k++ {
+			body := bodies[r.Intn(len(bodies))]
+			if strings.Contains(body, "%d") {
+				inner := label + 50 + k
+				body = fmt.Sprintf(body, inner, inner)
+			}
+			b.WriteString(body)
+		}
+		fmt.Fprintf(&b, "%d   CONTINUE\n", label)
+		label += 100
+	}
+	b.WriteString("      WRITE(*,*) s, t, b(5), c(7)\n      END\n")
+	return b.String()
+}
+
+// TestQuickPipelineSoundness is the whole-pipeline property test: for random
+// programs, every loop the parallelizer approves executes identically under
+// the goroutine runtime (FP reductions compared with tolerance), for any
+// worker count.
+func TestQuickPipelineSoundness(t *testing.T) {
+	f := func(seed int64, workersRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		workers := int(workersRaw%7) + 2
+		src := genProgram(r)
+
+		seqProg, err := minif.Parse("rnd", src)
+		if err != nil {
+			t.Logf("generator produced invalid program: %v\n%s", err, src)
+			return false
+		}
+		seq := exec.New(seqProg)
+		if err := seq.Run(); err != nil {
+			t.Logf("sequential run failed: %v\n%s", err, src)
+			return false
+		}
+
+		parProg := minif.MustParse("rnd", src)
+		res := parallel.Parallelize(parProg, parallel.Config{UseReductions: true})
+		plan := BuildPlan(res, workers)
+		if len(plan.Loops) == 0 {
+			return true // nothing approved; trivially sound
+		}
+		par := exec.NewWithPlan(parProg, plan)
+		if err := par.Run(); err != nil {
+			t.Logf("parallel run failed: %v\n%s", err, src)
+			return false
+		}
+		n := seq.ArenaSize()
+		seqA := append([]float64(nil), seq.Arena()[:n]...)
+		parA := append([]float64(nil), par.Arena()[:n]...)
+		// Mask privatized (dead after loop) storage, as in
+		// ValidateUserParallelization.
+		for _, li := range res.Ordered {
+			if !li.Chosen {
+				continue
+			}
+			for _, vr := range li.Dep.Vars {
+				cls := vr.Class.String()
+				if cls == "private" || cls == "index" {
+					if lo, hi, ok := par.SymRange(li.Region.Proc.Name, vr.Sym.Name); ok {
+						for i := lo; i <= hi && i < int64(n); i++ {
+							seqA[i], parA[i] = 0, 0
+						}
+					}
+				}
+			}
+		}
+		if err := exec.Validate(seqA, parA, 1e-9); err != nil {
+			t.Logf("MISMATCH (%d workers): %v\nprogram:\n%s", workers, err, src)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecurrenceNeverApproved: the generator's recurrence body must never be
+// classified parallel.
+func TestRecurrenceNeverApproved(t *testing.T) {
+	src := `
+      PROGRAM rec
+      REAL b(128), a(128)
+      INTEGER i
+      DO 100 i = 2, 128
+        b(i) = b(i-1) + a(i)
+100   CONTINUE
+      END
+`
+	res := parallel.Parallelize(minif.MustParse("rec", src), parallel.Config{UseReductions: true})
+	if res.LoopByID("REC/100").Dep.Parallelizable {
+		t.Fatal("recurrence approved — unsound")
+	}
+}

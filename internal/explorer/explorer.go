@@ -1,0 +1,348 @@
+// Package explorer is the SUIF Explorer itself (Chapter 2): it drives the
+// whole pipeline — parallelize, instrument and profile an execution, run the
+// dynamic dependence analyzer — and hosts the Parallelization Guru (§2.6)
+// that ranks target loops by coverage and granularity, plus the assertion
+// checkers (§2.8) that vet user claims against static and dynamic
+// information before re-parallelizing.
+package explorer
+
+import (
+	"fmt"
+	"sort"
+
+	"suifx/internal/depend"
+	"suifx/internal/exec"
+	"suifx/internal/ir"
+	"suifx/internal/liveness"
+	"suifx/internal/machine"
+	"suifx/internal/parallel"
+	"suifx/internal/region"
+	"suifx/internal/summary"
+)
+
+// Options configure a session.
+type Options struct {
+	Model *machine.Model
+	// UseReductions and UseLiveness select the compiler configuration.
+	UseReductions bool
+	UseLiveness   bool
+	// CoverageCutoff and GranularityCutoffMs select "important" loops
+	// (§4.3.2's 2% and 0.05 ms defaults).
+	CoverageCutoff      float64
+	GranularityCutoffMs float64
+	// MaxOps bounds the profiling run.
+	MaxOps int64
+}
+
+// DefaultOptions mirror the paper's setup.
+func DefaultOptions() Options {
+	return Options{
+		Model:               machine.AlphaServer8400(),
+		UseReductions:       true,
+		UseLiveness:         true,
+		CoverageCutoff:      0.02,
+		GranularityCutoffMs: 0.05,
+	}
+}
+
+// Session is one Explorer run over a program.
+type Session struct {
+	Prog *ir.Program
+	Opts Options
+
+	Sum  *summary.Analysis
+	Live *liveness.Info
+	Par  *parallel.Result
+	Prof *exec.Profiler
+	Dyn  *exec.DynDep
+	in   *exec.Interp
+
+	Assertions map[string]parallel.AssertSet
+	// Log records the Guru's narration.
+	Log []string
+}
+
+// NewSession analyzes and profiles the program.
+func NewSession(prog *ir.Program, opts Options) (*Session, error) {
+	if opts.Model == nil {
+		opts.Model = machine.AlphaServer8400()
+	}
+	s := &Session{Prog: prog, Opts: opts, Assertions: map[string]parallel.AssertSet{}}
+	if err := s.Reanalyze(); err != nil {
+		return nil, err
+	}
+	if err := s.profile(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Reanalyze re-runs the static pipeline with the current assertions.
+func (s *Session) Reanalyze() error {
+	s.Sum = summary.Analyze(s.Prog)
+	cfg := parallel.Config{
+		UseReductions: s.Opts.UseReductions,
+		Assertions:    s.Assertions,
+	}
+	if s.Opts.UseLiveness {
+		s.Live = liveness.Analyze(s.Sum, liveness.Full)
+		cfg.DeadAtExit = s.Live.Oracle()
+	}
+	s.Par = parallel.ParallelizeWith(s.Sum, cfg)
+	return nil
+}
+
+// profile runs the program once, sequentially, with the Loop Profile
+// Analyzer and the Dynamic Dependence Analyzer attached (§2.3.1).
+func (s *Session) profile() error {
+	in := exec.New(s.Prog)
+	in.MaxOps = s.Opts.MaxOps
+	prof := exec.NewProfiler(in)
+	dyn := exec.NewDynDep(in)
+	// The analyzer ignores variables the compiler already resolved
+	// (inductions and reductions, §2.5.2).
+	dyn.IgnoreVar = s.ignoreVarFn(in)
+	if err := in.Run(); err != nil {
+		return fmt.Errorf("explorer: profiling run failed: %w", err)
+	}
+	s.in, s.Prof, s.Dyn = in, prof, dyn
+	return nil
+}
+
+// ignoreVarFn suppresses dynamic dependences on addresses belonging to
+// variables classified as index or reduction for the loop.
+func (s *Session) ignoreVarFn(in *exec.Interp) func(l *ir.DoLoop, addr int64) bool {
+	type rng struct{ lo, hi int64 }
+	ignore := map[*ir.DoLoop][]rng{}
+	for _, li := range s.Par.Ordered {
+		proc := li.Region.Proc.Name
+		for _, vr := range li.Dep.Vars {
+			if vr.Class != depend.ClassIndex && vr.Class != depend.ClassReduction {
+				continue
+			}
+			if lo, hi, ok := in.SymRange(proc, vr.Sym.Name); ok {
+				ignore[li.Region.Loop] = append(ignore[li.Region.Loop], rng{lo, hi})
+			}
+		}
+	}
+	return func(l *ir.DoLoop, addr int64) bool {
+		for _, r := range ignore[l] {
+			if addr >= r.lo && addr <= r.hi {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Target is one Guru worklist entry (§2.6): an important sequential loop.
+type Target struct {
+	Loop          *parallel.LoopInfo
+	Profile       *exec.LoopProfile
+	CoveragePct   float64
+	GranularityMs float64
+	DynDeps       int64
+	StaticDeps    int
+	Important     bool
+}
+
+// ID returns the loop identifier.
+func (t *Target) ID() string { return t.Loop.ID() }
+
+// Targets builds the Guru's ranked list: sequential loops with no I/O, not
+// dynamically nested under a parallel loop, sorted by decreasing execution
+// time; each annotated with dynamic and static dependence counts.
+func (s *Session) Targets() []Target {
+	total := float64(s.Prof.TotalOps())
+	var out []Target
+	for _, li := range s.Par.SequentialLoops() {
+		if li.Dep.HasIO {
+			continue
+		}
+		lp := s.Prof.Of(li.Region.Loop)
+		if lp == nil {
+			continue // never executed
+		}
+		t := Target{
+			Loop:       li,
+			Profile:    lp,
+			DynDeps:    s.Dyn.Carried(li.Region.Loop),
+			StaticDeps: len(li.Dep.Blocking),
+		}
+		if total > 0 {
+			t.CoveragePct = float64(lp.TotalOps) / total * 100
+		}
+		t.GranularityMs = opsToMs(s.Opts.Model, lp.OpsPerInvocation())
+		t.Important = t.CoveragePct >= s.Opts.CoverageCutoff*100 &&
+			t.GranularityMs >= s.Opts.GranularityCutoffMs
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Profile.TotalOps != out[j].Profile.TotalOps {
+			return out[i].Profile.TotalOps > out[j].Profile.TotalOps
+		}
+		return out[i].ID() < out[j].ID()
+	})
+	return out
+}
+
+func opsToMs(m *machine.Model, ops float64) float64 {
+	return ops * m.CyclesPerOp / (m.ClockMHz * 1e3)
+}
+
+// CoverageGranularity reports the automatically-parallelized coverage and
+// granularity metrics the Guru displays (§2.6).
+func (s *Session) CoverageGranularity() (coverage float64, granularityMs float64) {
+	var loops []*ir.DoLoop
+	var ops, invs float64
+	for _, li := range s.Par.ParallelLoops() {
+		loops = append(loops, li.Region.Loop)
+		if lp := s.Prof.Of(li.Region.Loop); lp != nil {
+			ops += float64(lp.TotalOps)
+			invs += float64(lp.Invocations)
+		}
+	}
+	coverage = s.Prof.Coverage(loops)
+	if invs > 0 {
+		granularityMs = opsToMs(s.Opts.Model, ops/invs)
+	}
+	return
+}
+
+// ---- assertion checking (§2.8) ----
+
+// AssertPrivate records "variable is privatizable in loop" after checking
+// consistency. If the variable is a common-block array also accessed by
+// procedures called from the loop, the assertion is extended automatically
+// with a warning, as the paper describes.
+func (s *Session) AssertPrivate(loopID, varName string) ([]string, error) {
+	li := s.Par.LoopByID(loopID)
+	if li == nil {
+		return nil, fmt.Errorf("explorer: unknown loop %s", loopID)
+	}
+	var warnings []string
+	proc := li.Region.Proc
+	sym := proc.Lookup(varName)
+	if sym == nil {
+		return nil, fmt.Errorf("explorer: no variable %s in %s", varName, proc.Name)
+	}
+	// Cross-procedure consistency: a privatized common array must be
+	// privatized in every called procedure that accesses it.
+	if sym.Common != "" {
+		for _, c := range li.Region.AllCallSites() {
+			callee := s.Prog.ByName[c.Name]
+			if callee == nil {
+				continue
+			}
+			if other := callee.Lookup(varName); other != nil && other.Common == sym.Common {
+				warnings = append(warnings,
+					fmt.Sprintf("privatizing /%s/ %s for callee %s automatically", sym.Common, varName, callee.Name))
+			}
+		}
+	}
+	as := s.Assertions[loopID]
+	if as.Private == nil {
+		as.Private = map[string]bool{}
+	}
+	if as.Independent == nil {
+		as.Independent = map[string]bool{}
+	}
+	as.Private[varName] = true
+	s.Assertions[loopID] = as
+	s.logf("assert private %s in %s", varName, loopID)
+	return warnings, s.Reanalyze()
+}
+
+// AssertIndependent records "accesses to variable are independent in loop"
+// after checking it against the Dynamic Dependence Analyzer: if a true
+// dependence was observed for the profiled input, the assertion is refuted.
+func (s *Session) AssertIndependent(loopID, varName string) error {
+	li := s.Par.LoopByID(loopID)
+	if li == nil {
+		return fmt.Errorf("explorer: unknown loop %s", loopID)
+	}
+	if lo, hi, ok := s.in.SymRange(li.Region.Proc.Name, varName); ok {
+		if n := s.Dyn.CarriedInRange(li.Region.Loop, lo, hi); n > 0 {
+			return fmt.Errorf("explorer: assertion contradicted: %d dynamic flow dependences observed on %s in %s",
+				n, varName, loopID)
+		}
+	}
+	as := s.Assertions[loopID]
+	if as.Private == nil {
+		as.Private = map[string]bool{}
+	}
+	if as.Independent == nil {
+		as.Independent = map[string]bool{}
+	}
+	as.Independent[varName] = true
+	s.Assertions[loopID] = as
+	s.logf("assert independent %s in %s", varName, loopID)
+	return s.Reanalyze()
+}
+
+func (s *Session) logf(format string, args ...interface{}) {
+	s.Log = append(s.Log, fmt.Sprintf(format, args...))
+}
+
+// Workload converts the session's measurements into a machine-model
+// workload for speedup prediction.
+func (s *Session) Workload() machine.Workload {
+	var w machine.Workload
+	// Only chosen parallel loops appear: the parallelizer guarantees they
+	// are dynamically disjoint, so their times partition the run against
+	// the serial remainder.
+	var loopOps int64
+	for _, li := range s.Par.Ordered {
+		if !li.Chosen {
+			continue
+		}
+		lp := s.Prof.Of(li.Region.Loop)
+		if lp == nil {
+			continue
+		}
+		loopOps += lp.TotalOps
+		lw := machine.LoopWork{
+			ID:          li.ID(),
+			Invocations: lp.Invocations,
+			TotalOps:    lp.TotalOps,
+			Parallel:    true,
+		}
+		for _, vr := range li.Dep.Vars {
+			switch vr.Class {
+			case depend.ClassReduction:
+				lw.ReductionElems += vr.Sym.NElems()
+				lw.StaggeredFinalize = true
+			case depend.ClassPrivate:
+				lw.PrivateElems += vr.Sym.NElems()
+				if vr.NeedsFinalization {
+					lw.FinalizeElems += vr.Sym.NElems()
+				}
+			}
+		}
+		lw.FootprintElems = s.loopFootprint(li.Region)
+		w.Loops = append(w.Loops, lw)
+	}
+	w.SerialOps = s.Prof.TotalOps() - loopOps
+	if w.SerialOps < 0 {
+		w.SerialOps = 0
+	}
+	return w
+}
+
+func enclosed(r *region.Region) bool { return r.EnclosingLoop() != nil }
+
+// loopFootprint estimates the loop's working set from the symbols its
+// summary touches.
+func (s *Session) loopFootprint(r *region.Region) int64 {
+	rs := s.Sum.RegionSum[r]
+	if rs == nil {
+		return 0
+	}
+	var n int64
+	for _, sym := range rs.SortedSyms() {
+		if sym.IsArray() {
+			n += sym.NElems()
+		}
+	}
+	return n
+}

@@ -1,0 +1,121 @@
+package ir
+
+import "testing"
+
+func sym(name string, dims ...Dim) *Symbol {
+	return &Symbol{Name: name, Dims: dims}
+}
+
+func TestSymbolBasics(t *testing.T) {
+	s := sym("A", Dim{1, 10}, Dim{0, 9})
+	if !s.IsArray() || s.NElems() != 100 {
+		t.Fatalf("A: array=%v elems=%d", s.IsArray(), s.NElems())
+	}
+	sc := sym("X")
+	if sc.IsArray() || sc.NElems() != 1 {
+		t.Fatal("scalar misclassified")
+	}
+	if (Dim{0, 9}).Size() != 10 {
+		t.Fatal("dim size")
+	}
+}
+
+func buildProg() *Program {
+	// MAIN calls F; F calls G.
+	g := &Proc{Name: "G", Syms: map[string]*Symbol{}}
+	f := &Proc{Name: "F", Syms: map[string]*Symbol{},
+		Body: []Stmt{&Call{Name: "G"}}}
+	i := sym("I")
+	loop := &DoLoop{Index: i, Lo: IntConst(1), Hi: IntConst(10), Label: "10",
+		Body: []Stmt{&Call{Name: "F"}}}
+	m := &Proc{Name: "MAIN", IsMain: true, Syms: map[string]*Symbol{"I": i},
+		Body: []Stmt{loop}}
+	p := &Program{Name: "t", Procs: []*Proc{g, f, m},
+		ByName: map[string]*Proc{"G": g, "F": f, "MAIN": m}}
+	return p
+}
+
+func TestCallGraphAndOrders(t *testing.T) {
+	p := buildProg()
+	cg := p.CallGraph()
+	if len(cg["MAIN"]) != 1 || cg["MAIN"][0] != "F" {
+		t.Fatalf("call graph: %v", cg)
+	}
+	up, ok := p.BottomUpOrder()
+	if !ok {
+		t.Fatal("acyclic graph rejected")
+	}
+	pos := map[string]int{}
+	for i, pr := range up {
+		pos[pr.Name] = i
+	}
+	if !(pos["G"] < pos["F"] && pos["F"] < pos["MAIN"]) {
+		t.Fatalf("bottom-up order wrong: %v", pos)
+	}
+	down, _ := p.TopDownOrder()
+	if down[0].Name != "MAIN" {
+		t.Fatalf("top-down should start at MAIN: %v", down[0].Name)
+	}
+}
+
+func TestRecursionDetected(t *testing.T) {
+	a := &Proc{Name: "A", Syms: map[string]*Symbol{}, Body: []Stmt{&Call{Name: "B"}}}
+	b := &Proc{Name: "B", Syms: map[string]*Symbol{}, Body: []Stmt{&Call{Name: "A"}}}
+	p := &Program{Procs: []*Proc{a, b}, ByName: map[string]*Proc{"A": a, "B": b}}
+	if _, ok := p.BottomUpOrder(); ok {
+		t.Fatal("recursive call graph not detected")
+	}
+}
+
+func TestWalkersAndQueries(t *testing.T) {
+	p := buildProg()
+	m := p.Main()
+	if m == nil || m.Name != "MAIN" {
+		t.Fatal("Main lookup")
+	}
+	if loops := m.Loops(); len(loops) != 1 || loops[0].ID("MAIN") != "MAIN/10" {
+		t.Fatalf("loops: %v", loops)
+	}
+	if calls := Calls(m.Body); len(calls) != 1 || calls[0] != "F" {
+		t.Fatalf("calls: %v", calls)
+	}
+	if HasIO(m.Body) {
+		t.Fatal("no IO present")
+	}
+	sites := p.CallSitesOf("G")
+	if len(sites) != 1 || sites[0].Caller.Name != "F" {
+		t.Fatalf("call sites: %v", sites)
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	a := sym("A", Dim{1, 5})
+	e := &Bin{Op: OpAdd, L: &ArrayRef{Sym: a, Idx: []Expr{IntConst(3)}}, R: &Const{Val: 1.5}}
+	if got := e.String(); got != "(A(3)+1.5)" {
+		t.Fatalf("String = %q", got)
+	}
+	cmp := &Bin{Op: OpLE, L: &VarRef{Sym: sym("X")}, R: IntConst(4)}
+	if got := cmp.String(); got != "(X .LE. 4)" {
+		t.Fatalf("String = %q", got)
+	}
+	in := &Intrinsic{Name: "MIN", Args: []Expr{IntConst(1), IntConst(2)}}
+	if got := in.String(); got != "MIN(1,2)" {
+		t.Fatalf("String = %q", got)
+	}
+	if OpLE.String() != ".LE." || !OpLE.IsComparison() || OpAdd.IsComparison() {
+		t.Fatal("op metadata")
+	}
+}
+
+func TestLineCount(t *testing.T) {
+	p := &Program{Source: []string{"      X = 1", "C comment", "", "* star", "      Y = 2"}}
+	if got := p.LineCount(true); got != 3 {
+		t.Fatalf("code lines = %d, want 3 (classic 'C comment' col-1 is counted: %q)", got, p.Source)
+	}
+	if p.LineCount(false) != 5 {
+		t.Fatal("raw line count")
+	}
+	if p.SourceLine(1) != "      X = 1" || p.SourceLine(99) != "" {
+		t.Fatal("SourceLine")
+	}
+}

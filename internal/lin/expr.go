@@ -1,0 +1,212 @@
+// Package lin implements systems of integer linear inequalities and the
+// polyhedral operations the SUIF array analyses are built on: intersection,
+// union-of-polyhedra array sections, Fourier–Motzkin projection (the paper's
+// "closure" operator), emptiness and containment tests.
+//
+// Array regions are represented, exactly as in the paper (§2.4, §5.2.1), as
+// sets of systems of linear inequalities whose integer solutions are the
+// accessed index tuples.
+package lin
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is an affine expression: a sum of integer-coefficient terms over named
+// variables plus an integer constant. The zero value is the constant 0.
+type Expr struct {
+	Coef  map[string]int64
+	Const int64
+}
+
+// NewExpr returns the affine expression with the given constant term.
+func NewExpr(c int64) Expr { return Expr{Const: c} }
+
+// Var returns the expression consisting of the single variable v.
+func Var(v string) Expr { return Term(v, 1) }
+
+// Term returns the expression c*v.
+func Term(v string, c int64) Expr {
+	if c == 0 {
+		return Expr{}
+	}
+	return Expr{Coef: map[string]int64{v: c}}
+}
+
+// Clone returns a deep copy of e.
+func (e Expr) Clone() Expr {
+	out := Expr{Const: e.Const}
+	if len(e.Coef) > 0 {
+		out.Coef = make(map[string]int64, len(e.Coef))
+		for v, c := range e.Coef {
+			out.Coef[v] = c
+		}
+	}
+	return out
+}
+
+// CoefOf returns the coefficient of variable v (0 if absent).
+func (e Expr) CoefOf(v string) int64 { return e.Coef[v] }
+
+// Add returns e + o.
+func (e Expr) Add(o Expr) Expr {
+	out := e.Clone()
+	out.Const += o.Const
+	for v, c := range o.Coef {
+		out.addTerm(v, c)
+	}
+	return out
+}
+
+// Sub returns e - o.
+func (e Expr) Sub(o Expr) Expr { return e.Add(o.Scale(-1)) }
+
+// Scale returns k*e.
+func (e Expr) Scale(k int64) Expr {
+	if k == 0 {
+		return Expr{}
+	}
+	out := Expr{Const: e.Const * k}
+	if len(e.Coef) > 0 {
+		out.Coef = make(map[string]int64, len(e.Coef))
+		for v, c := range e.Coef {
+			out.Coef[v] = c * k
+		}
+	}
+	return out
+}
+
+// AddConst returns e + k.
+func (e Expr) AddConst(k int64) Expr {
+	out := e.Clone()
+	out.Const += k
+	return out
+}
+
+func (e *Expr) addTerm(v string, c int64) {
+	if c == 0 {
+		return
+	}
+	if e.Coef == nil {
+		e.Coef = make(map[string]int64)
+	}
+	n := e.Coef[v] + c
+	if n == 0 {
+		delete(e.Coef, v)
+	} else {
+		e.Coef[v] = n
+	}
+}
+
+// IsConst reports whether e has no variable terms.
+func (e Expr) IsConst() bool { return len(e.Coef) == 0 }
+
+// Vars returns the variables of e in sorted order.
+func (e Expr) Vars() []string {
+	vs := make([]string, 0, len(e.Coef))
+	for v := range e.Coef {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	return vs
+}
+
+// Eval evaluates e under the given assignment. Unassigned variables are an
+// error so callers never silently treat a symbolic value as zero.
+func (e Expr) Eval(env map[string]int64) (int64, error) {
+	sum := e.Const
+	for v, c := range e.Coef {
+		val, ok := env[v]
+		if !ok {
+			return 0, fmt.Errorf("lin: unbound variable %q", v)
+		}
+		sum += c * val
+	}
+	return sum, nil
+}
+
+// Substitute returns e with every occurrence of v replaced by repl.
+func (e Expr) Substitute(v string, repl Expr) Expr {
+	c, ok := e.Coef[v]
+	if !ok {
+		return e.Clone()
+	}
+	out := e.Clone()
+	delete(out.Coef, v)
+	return out.Add(repl.Scale(c))
+}
+
+// Rename returns e with variable old renamed to new.
+func (e Expr) Rename(old, new string) Expr {
+	c, ok := e.Coef[old]
+	if !ok {
+		return e.Clone()
+	}
+	out := e.Clone()
+	delete(out.Coef, old)
+	out.addTerm(new, c)
+	return out
+}
+
+// Equal reports whether e and o denote the same affine function.
+func (e Expr) Equal(o Expr) bool {
+	if e.Const != o.Const || len(e.Coef) != len(o.Coef) {
+		return false
+	}
+	for v, c := range e.Coef {
+		if o.Coef[v] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders e deterministically, e.g. "2*i - j + 3".
+func (e Expr) String() string {
+	var b strings.Builder
+	first := true
+	for _, v := range e.Vars() {
+		c := e.Coef[v]
+		switch {
+		case first && c == 1:
+			b.WriteString(v)
+		case first && c == -1:
+			b.WriteString("-" + v)
+		case first:
+			fmt.Fprintf(&b, "%d*%s", c, v)
+		case c == 1:
+			b.WriteString(" + " + v)
+		case c == -1:
+			b.WriteString(" - " + v)
+		case c > 0:
+			fmt.Fprintf(&b, " + %d*%s", c, v)
+		default:
+			fmt.Fprintf(&b, " - %d*%s", -c, v)
+		}
+		first = false
+	}
+	switch {
+	case first:
+		fmt.Fprintf(&b, "%d", e.Const)
+	case e.Const > 0:
+		fmt.Fprintf(&b, " + %d", e.Const)
+	case e.Const < 0:
+		fmt.Fprintf(&b, " - %d", -e.Const)
+	}
+	return b.String()
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

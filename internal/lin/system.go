@@ -1,0 +1,275 @@
+package lin
+
+import (
+	"sort"
+	"strings"
+)
+
+// A Constraint is the inequality Expr >= 0.
+type Constraint struct {
+	E Expr
+}
+
+// String renders the constraint, e.g. "i - 1 >= 0".
+func (c Constraint) String() string { return c.E.String() + " >= 0" }
+
+// normalize divides the constraint by the GCD of its coefficients, tightening
+// the constant term toward the feasible side (integer reasoning: a*x >= -b
+// with gcd g on a implies g*(x') >= -b, i.e. x' >= ceil(-b/g)).
+func (c Constraint) normalize() Constraint {
+	if len(c.E.Coef) == 0 {
+		return c
+	}
+	var g int64
+	for _, co := range c.E.Coef {
+		g = gcd64(g, co)
+	}
+	if g <= 1 {
+		return c
+	}
+	out := Expr{Coef: make(map[string]int64, len(c.E.Coef))}
+	for v, co := range c.E.Coef {
+		out.Coef[v] = co / g
+	}
+	// e >= 0  ==  sum + Const >= 0  ==  sum >= -Const; divide by g and
+	// round the bound up: sum/g >= ceil(-Const/g), so Const' = floor(Const/g).
+	out.Const = floorDiv(c.E.Const, g)
+	return Constraint{out}
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// A System is a conjunction of linear constraints; its integer solutions form
+// (the integer points of) a convex polyhedron. The zero value is the
+// unconstrained system (the whole space).
+type System struct {
+	Cons []Constraint
+}
+
+// NewSystem returns an empty (unconstrained) system.
+func NewSystem() *System { return &System{} }
+
+// Clone returns a deep copy of s.
+func (s *System) Clone() *System {
+	out := &System{Cons: make([]Constraint, len(s.Cons))}
+	for i, c := range s.Cons {
+		out.Cons[i] = Constraint{c.E.Clone()}
+	}
+	return out
+}
+
+// AddGE adds the constraint e >= 0 and returns s for chaining.
+func (s *System) AddGE(e Expr) *System {
+	s.Cons = append(s.Cons, Constraint{e}.normalize())
+	return s
+}
+
+// AddLE adds e <= 0, i.e. -e >= 0.
+func (s *System) AddLE(e Expr) *System { return s.AddGE(e.Scale(-1)) }
+
+// AddEq adds e == 0 as a pair of inequalities.
+func (s *System) AddEq(e Expr) *System { return s.AddGE(e).AddLE(e) }
+
+// AddRange constrains lo <= v <= hi for affine bounds lo, hi.
+func (s *System) AddRange(v string, lo, hi Expr) *System {
+	s.AddGE(Var(v).Sub(lo)) // v - lo >= 0
+	s.AddGE(hi.Sub(Var(v))) // hi - v >= 0
+	return s
+}
+
+// Vars returns all variables mentioned in s, sorted.
+func (s *System) Vars() []string {
+	set := map[string]bool{}
+	for _, c := range s.Cons {
+		for v := range c.E.Coef {
+			set[v] = true
+		}
+	}
+	vs := make([]string, 0, len(set))
+	for v := range set {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	return vs
+}
+
+// Intersect returns the conjunction of s and o.
+func (s *System) Intersect(o *System) *System {
+	out := s.Clone()
+	for _, c := range o.Cons {
+		out.Cons = append(out.Cons, Constraint{c.E.Clone()})
+	}
+	return out
+}
+
+// Substitute replaces variable v by the affine expression repl everywhere.
+func (s *System) Substitute(v string, repl Expr) *System {
+	out := &System{Cons: make([]Constraint, 0, len(s.Cons))}
+	for _, c := range s.Cons {
+		out.Cons = append(out.Cons, Constraint{c.E.Substitute(v, repl)}.normalize())
+	}
+	return out
+}
+
+// Rename renames variable old to new everywhere.
+func (s *System) Rename(old, new string) *System {
+	out := &System{Cons: make([]Constraint, 0, len(s.Cons))}
+	for _, c := range s.Cons {
+		out.Cons = append(out.Cons, Constraint{c.E.Rename(old, new)})
+	}
+	return out
+}
+
+// ContainsPoint reports whether the integer assignment env satisfies every
+// constraint. Variables of s missing from env make the result false.
+func (s *System) ContainsPoint(env map[string]int64) bool {
+	for _, c := range s.Cons {
+		v, err := c.E.Eval(env)
+		if err != nil || v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Eliminate removes variable v by Fourier–Motzkin elimination, producing a
+// system over the remaining variables whose rational solution set is the
+// projection of s. This is the paper's closure operator building block.
+func (s *System) Eliminate(v string) *System {
+	var lower, upper, rest []Constraint
+	for _, c := range s.Cons {
+		switch co := c.E.CoefOf(v); {
+		case co > 0:
+			lower = append(lower, c) // co*v + r >= 0  =>  v >= -r/co
+		case co < 0:
+			upper = append(upper, c) // co*v + r >= 0  =>  v <= r/(-co)
+		default:
+			rest = append(rest, c)
+		}
+	}
+	out := &System{Cons: rest}
+	for _, lo := range lower {
+		a := lo.E.CoefOf(v)
+		for _, up := range upper {
+			b := -up.E.CoefOf(v)
+			// b*(a*v + rl) + a*(-b*v + ru') combination removes v:
+			// b*lo + a*up >= 0.
+			comb := lo.E.Scale(b).Add(up.E.Scale(a))
+			delete(comb.Coef, v)
+			out.Cons = append(out.Cons, Constraint{comb}.normalize())
+		}
+	}
+	return out.simplify()
+}
+
+// Project eliminates every variable not in keep, projecting the polyhedron
+// onto the kept dimensions.
+func (s *System) Project(keep map[string]bool) *System {
+	out := s.Clone()
+	for _, v := range s.Vars() {
+		if !keep[v] {
+			out = out.Eliminate(v)
+		}
+	}
+	return out
+}
+
+// EliminateVars eliminates each named variable in turn.
+func (s *System) EliminateVars(vars ...string) *System {
+	out := s
+	for _, v := range vars {
+		out = out.Eliminate(v)
+	}
+	return out
+}
+
+// IsEmpty reports whether the system has no rational solutions (a sound,
+// conservative test for integer emptiness: true means definitely no integer
+// points; false means there may be some).
+func (s *System) IsEmpty() bool {
+	cur := s.simplify()
+	if cur == nil {
+		return true
+	}
+	for _, v := range cur.Vars() {
+		cur = cur.Eliminate(v)
+		if cur.hasContradiction() {
+			return true
+		}
+	}
+	return cur.hasContradiction()
+}
+
+func (s *System) hasContradiction() bool {
+	for _, c := range s.Cons {
+		if c.E.IsConst() && c.E.Const < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// simplify drops trivially-true constraints and duplicate constraints, and
+// returns nil if a constant contradiction is present. A nil receiver stays nil.
+func (s *System) simplify() *System {
+	if s == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	out := &System{}
+	for _, c := range s.Cons {
+		if c.E.IsConst() {
+			if c.E.Const < 0 {
+				return &System{Cons: []Constraint{{NewExpr(-1)}}}
+			}
+			continue
+		}
+		k := c.E.String()
+		if !seen[k] {
+			seen[k] = true
+			out.Cons = append(out.Cons, c)
+		}
+	}
+	return out
+}
+
+// Implies reports whether every rational point of s satisfies c, tested by
+// checking that s ∧ ¬c (with the integer gap e <= -1) is empty.
+func (s *System) Implies(c Constraint) bool {
+	neg := s.Clone()
+	// ¬(e >= 0) over integers is e <= -1, i.e. -e - 1 >= 0.
+	neg.AddGE(c.E.Scale(-1).AddConst(-1))
+	return neg.IsEmpty()
+}
+
+// ContainedIn reports whether s ⊆ o (conservatively: true is definite).
+func (s *System) ContainedIn(o *System) bool {
+	if s.IsEmpty() {
+		return true
+	}
+	for _, c := range o.Cons {
+		if !s.Implies(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the system deterministically.
+func (s *System) String() string {
+	if len(s.Cons) == 0 {
+		return "{true}"
+	}
+	parts := make([]string, len(s.Cons))
+	for i, c := range s.Cons {
+		parts[i] = c.String()
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,312 @@
+package minif
+
+import (
+	"strconv"
+
+	"suifx/internal/ir"
+)
+
+// tokParser is a cursor over one line's tokens.
+type tokParser struct {
+	toks []token
+	pos  int
+	line int
+}
+
+func newTokParser(l *srcLine) *tokParser { return &tokParser{toks: l.toks, line: l.num} }
+
+func (t *tokParser) peek() token { return t.toks[t.pos] }
+func (t *tokParser) next() token {
+	tok := t.toks[t.pos]
+	if tok.kind != tEOF {
+		t.pos++
+	}
+	return tok
+}
+func (t *tokParser) atEOF() bool { return t.peek().kind == tEOF }
+
+// eat consumes the operator text if it is next.
+func (t *tokParser) eat(op string) bool {
+	if tok := t.peek(); tok.kind == tOp && tok.text == op {
+		t.pos++
+		return true
+	}
+	return false
+}
+
+// ident consumes and returns an identifier.
+func (t *tokParser) ident() (string, bool) {
+	if tok := t.peek(); tok.kind == tIdent {
+		t.pos++
+		return tok.text, true
+	}
+	return "", false
+}
+
+// peekIdent returns the next identifier without consuming.
+func (t *tokParser) peekIdent() (string, bool) {
+	if tok := t.peek(); tok.kind == tIdent {
+		return tok.text, true
+	}
+	return "", false
+}
+
+var intrinsics = map[string]int{
+	// name -> arity (-1 = variadic >= 2)
+	"MIN": -1, "MAX": -1, "MOD": 2, "ABS": 1, "SQRT": 1,
+	"EXP": 1, "SIN": 1, "COS": 1, "INT": 1, "FLOAT": 1, "DBLE": 1,
+}
+
+// Expression grammar (loosest to tightest):
+//
+//	or     := and (.OR. and)*
+//	and    := not (.AND. not)*
+//	not    := .NOT. not | rel
+//	rel    := add ((.EQ.|.NE.|.LT.|.LE.|.GT.|.GE.) add)?
+//	add    := mul (("+"|"-") mul)*
+//	mul    := unary (("*"|"/") unary)*
+//	unary  := "-" unary | primary
+//	primary:= const | name | name(args) | "(" or ")"
+func (p *parser) parseExpr(l *srcLine, tp *tokParser) (ir.Expr, error) {
+	return p.parseOr(l, tp)
+}
+
+func (p *parser) parseOr(l *srcLine, tp *tokParser) (ir.Expr, error) {
+	e, err := p.parseAnd(l, tp)
+	if err != nil {
+		return nil, err
+	}
+	for tp.peek().kind == tDotOp && tp.peek().text == ".OR." {
+		tp.next()
+		r, err := p.parseAnd(l, tp)
+		if err != nil {
+			return nil, err
+		}
+		e = &ir.Bin{Op: ir.OpOr, L: e, R: r, Pos: ir.Pos{Line: l.num}}
+	}
+	return e, nil
+}
+
+func (p *parser) parseAnd(l *srcLine, tp *tokParser) (ir.Expr, error) {
+	e, err := p.parseNot(l, tp)
+	if err != nil {
+		return nil, err
+	}
+	for tp.peek().kind == tDotOp && tp.peek().text == ".AND." {
+		tp.next()
+		r, err := p.parseNot(l, tp)
+		if err != nil {
+			return nil, err
+		}
+		e = &ir.Bin{Op: ir.OpAnd, L: e, R: r, Pos: ir.Pos{Line: l.num}}
+	}
+	return e, nil
+}
+
+func (p *parser) parseNot(l *srcLine, tp *tokParser) (ir.Expr, error) {
+	if tp.peek().kind == tDotOp && tp.peek().text == ".NOT." {
+		tp.next()
+		x, err := p.parseNot(l, tp)
+		if err != nil {
+			return nil, err
+		}
+		return &ir.Un{Op: ".NOT.", X: x, Pos: ir.Pos{Line: l.num}}, nil
+	}
+	return p.parseRel(l, tp)
+}
+
+var relOps = map[string]ir.BinOp{
+	".EQ.": ir.OpEQ, ".NE.": ir.OpNE, ".LT.": ir.OpLT,
+	".LE.": ir.OpLE, ".GT.": ir.OpGT, ".GE.": ir.OpGE,
+}
+
+func (p *parser) parseRel(l *srcLine, tp *tokParser) (ir.Expr, error) {
+	e, err := p.parseAdd(l, tp)
+	if err != nil {
+		return nil, err
+	}
+	if tp.peek().kind == tDotOp {
+		if op, ok := relOps[tp.peek().text]; ok {
+			tp.next()
+			r, err := p.parseAdd(l, tp)
+			if err != nil {
+				return nil, err
+			}
+			return &ir.Bin{Op: op, L: e, R: r, Pos: ir.Pos{Line: l.num}}, nil
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) parseAdd(l *srcLine, tp *tokParser) (ir.Expr, error) {
+	e, err := p.parseMul(l, tp)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ir.BinOp
+		switch {
+		case tp.eat("+"):
+			op = ir.OpAdd
+		case tp.eat("-"):
+			op = ir.OpSub
+		default:
+			return e, nil
+		}
+		r, err := p.parseMul(l, tp)
+		if err != nil {
+			return nil, err
+		}
+		e = &ir.Bin{Op: op, L: e, R: r, Pos: ir.Pos{Line: l.num}}
+	}
+}
+
+func (p *parser) parseMul(l *srcLine, tp *tokParser) (ir.Expr, error) {
+	e, err := p.parseUnary(l, tp)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op ir.BinOp
+		switch {
+		case tp.eat("*"):
+			op = ir.OpMul
+		case tp.eat("/"):
+			op = ir.OpDiv
+		default:
+			return e, nil
+		}
+		r, err := p.parseUnary(l, tp)
+		if err != nil {
+			return nil, err
+		}
+		e = &ir.Bin{Op: op, L: e, R: r, Pos: ir.Pos{Line: l.num}}
+	}
+}
+
+func (p *parser) parseUnary(l *srcLine, tp *tokParser) (ir.Expr, error) {
+	if tp.eat("-") {
+		x, err := p.parseUnary(l, tp)
+		if err != nil {
+			return nil, err
+		}
+		if c, ok := x.(*ir.Const); ok {
+			return &ir.Const{Val: -c.Val, IsInt: c.IsInt, Pos: c.Pos}, nil
+		}
+		return &ir.Un{Op: "-", X: x, Pos: ir.Pos{Line: l.num}}, nil
+	}
+	return p.parsePrimary(l, tp)
+}
+
+func (p *parser) parsePrimary(l *srcLine, tp *tokParser) (ir.Expr, error) {
+	pos := ir.Pos{Line: l.num}
+	t := tp.next()
+	switch t.kind {
+	case tInt:
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf(l.num, "bad integer %q", t.text)
+		}
+		return &ir.Const{Val: float64(v), IsInt: true, Pos: pos}, nil
+	case tReal:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf(l.num, "bad real %q", t.text)
+		}
+		return &ir.Const{Val: v, Pos: pos}, nil
+	case tIdent:
+		name := t.text
+		// PARAMETER constants fold immediately.
+		if c, ok := p.consts[name]; ok {
+			isInt := c == float64(int64(c))
+			return &ir.Const{Val: c, IsInt: isInt, Pos: pos}, nil
+		}
+		if tp.peek().kind == tOp && tp.peek().text == "(" {
+			if _, isIntr := intrinsics[name]; isIntr && !p.isArray(name) {
+				return p.parseIntrinsic(l, tp, name, pos)
+			}
+			tp.eat("(")
+			sym := p.proc.Syms[name]
+			if sym == nil || !sym.IsArray() {
+				return nil, p.errf(l.num, "%s is subscripted but not declared as an array", name)
+			}
+			var idx []ir.Expr
+			for {
+				e, err := p.parseExpr(l, tp)
+				if err != nil {
+					return nil, err
+				}
+				idx = append(idx, e)
+				if tp.eat(")") {
+					break
+				}
+				if !tp.eat(",") {
+					return nil, p.errf(l.num, "expected , or ) in subscript list")
+				}
+			}
+			return &ir.ArrayRef{Sym: sym, Idx: idx, Pos: pos}, nil
+		}
+		sym := p.proc.Syms[name]
+		if sym != nil && sym.IsArray() {
+			// Bare array name (whole-array argument in CALL).
+			return &ir.ArrayRef{Sym: sym, Pos: pos}, nil
+		}
+		return &ir.VarRef{Sym: p.scalar(name), Pos: pos}, nil
+	case tOp:
+		if t.text == "(" {
+			e, err := p.parseExpr(l, tp)
+			if err != nil {
+				return nil, err
+			}
+			if !tp.eat(")") {
+				return nil, p.errf(l.num, "missing )")
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf(l.num, "unexpected token %q in expression", t.text)
+}
+
+func (p *parser) parseIntrinsic(l *srcLine, tp *tokParser, name string, pos ir.Pos) (ir.Expr, error) {
+	tp.eat("(")
+	var args []ir.Expr
+	for {
+		e, err := p.parseExpr(l, tp)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if tp.eat(")") {
+			break
+		}
+		if !tp.eat(",") {
+			return nil, p.errf(l.num, "expected , or ) in %s arguments", name)
+		}
+	}
+	want := intrinsics[name]
+	if want >= 0 && len(args) != want {
+		return nil, p.errf(l.num, "%s takes %d arguments, got %d", name, want, len(args))
+	}
+	if want < 0 && len(args) < 2 {
+		return nil, p.errf(l.num, "%s takes at least 2 arguments", name)
+	}
+	return &ir.Intrinsic{Name: name, Args: args, Pos: pos}, nil
+}
+
+func (p *parser) isArray(name string) bool {
+	s := p.proc.Syms[name]
+	return s != nil && s.IsArray()
+}
+
+// parseRef parses an assignable reference (scalar or array element).
+func (p *parser) parseRef(l *srcLine, tp *tokParser) (ir.Ref, error) {
+	e, err := p.parsePrimary(l, tp)
+	if err != nil {
+		return nil, err
+	}
+	r, ok := e.(ir.Ref)
+	if !ok {
+		return nil, p.errf(l.num, "left-hand side is not assignable")
+	}
+	return r, nil
+}

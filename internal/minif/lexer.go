@@ -1,0 +1,185 @@
+// Package minif parses MiniF, the Fortran-77-like source language of this
+// SUIF Explorer reproduction. MiniF keeps the Fortran features the thesis's
+// analyses need — labeled DO loops with shared terminators, logical IFs,
+// forward IF..GOTO (structured at parse time), COMMON blocks with
+// per-procedure layouts, DIMENSION/INTEGER/REAL declarations, PARAMETER
+// constants, CALL with whole-array or subarray actual arguments — while
+// staying small enough to implement a complete front end from scratch.
+package minif
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tInt
+	tReal
+	tOp    // + - * / ( ) , = :
+	tDotOp // .EQ. .NE. .LT. .LE. .GT. .GE. .AND. .OR. .NOT.
+)
+
+type token struct {
+	kind tokKind
+	text string
+	col  int
+}
+
+// lexLine tokenizes one logical source line (label already stripped).
+func lexLine(s string, line int) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '!':
+			i = len(s)
+		case isAlpha(c):
+			j := i
+			for j < len(s) && (isAlpha(s[j]) || isDigit(s[j]) || s[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tIdent, strings.ToUpper(s[i:j]), i})
+			i = j
+		case isDigit(c):
+			j := i
+			for j < len(s) && isDigit(s[j]) {
+				j++
+			}
+			isReal := false
+			// A '.' begins a fractional part only if not a dot-operator
+			// like "1.AND.".
+			if j < len(s) && s[j] == '.' && !startsDotOp(s[j:]) {
+				isReal = true
+				j++
+				for j < len(s) && isDigit(s[j]) {
+					j++
+				}
+			}
+			if j < len(s) && (s[j] == 'E' || s[j] == 'e') && j+1 < len(s) &&
+				(isDigit(s[j+1]) || s[j+1] == '+' || s[j+1] == '-') {
+				isReal = true
+				j += 2
+				for j < len(s) && isDigit(s[j]) {
+					j++
+				}
+			}
+			k := tInt
+			if isReal {
+				k = tReal
+			}
+			toks = append(toks, token{k, s[i:j], i})
+			i = j
+		case c == '.':
+			// Dot operator or a real like ".5".
+			if i+1 < len(s) && isDigit(s[i+1]) {
+				j := i + 1
+				for j < len(s) && isDigit(s[j]) {
+					j++
+				}
+				toks = append(toks, token{tReal, s[i:j], i})
+				i = j
+				break
+			}
+			j := strings.IndexByte(s[i+1:], '.')
+			if j < 0 {
+				return nil, fmt.Errorf("line %d: unterminated dot-operator at column %d", line, i+1)
+			}
+			op := strings.ToUpper(s[i : i+j+2])
+			switch op {
+			case ".EQ.", ".NE.", ".LT.", ".LE.", ".GT.", ".GE.", ".AND.", ".OR.", ".NOT.", ".TRUE.", ".FALSE.":
+				toks = append(toks, token{tDotOp, op, i})
+				i += j + 2
+			default:
+				return nil, fmt.Errorf("line %d: unknown operator %q", line, op)
+			}
+		case strings.IndexByte("+-*/(),=:", c) >= 0:
+			toks = append(toks, token{tOp, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("line %d: unexpected character %q", line, string(c))
+		}
+	}
+	toks = append(toks, token{tEOF, "", len(s)})
+	return toks, nil
+}
+
+func startsDotOp(s string) bool {
+	for _, op := range []string{".EQ.", ".NE.", ".LT.", ".LE.", ".GT.", ".GE.", ".AND.", ".OR.", ".NOT."} {
+		if len(s) >= len(op) && strings.EqualFold(s[:len(op)], op) {
+			return true
+		}
+	}
+	return false
+}
+
+func isAlpha(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// srcLine is one pre-processed source line: its 1-based number, optional
+// numeric label, and token stream.
+type srcLine struct {
+	num   int
+	label string
+	toks  []token
+}
+
+// isComment reports whether a raw source line is blank or a comment. MiniF
+// accepts '!' anywhere, and classic col-1 '*' or 'C'/'c' followed by a space
+// (so CALL is not a comment).
+func isComment(raw string) bool {
+	t := strings.TrimRight(raw, " \t")
+	if t == "" {
+		return true
+	}
+	switch t[0] {
+	case '*':
+		return true
+	case 'C', 'c':
+		return len(t) == 1 || t[1] == ' ' || t[1] == '\t'
+	}
+	return strings.TrimSpace(t)[0] == '!'
+}
+
+// splitLabel peels a leading numeric statement label off the line.
+func splitLabel(s string) (label, rest string) {
+	t := strings.TrimLeft(s, " \t")
+	i := 0
+	for i < len(t) && isDigit(t[i]) {
+		i++
+	}
+	if i > 0 && i < len(t) && (t[i] == ' ' || t[i] == '\t') {
+		return t[:i], t[i:]
+	}
+	return "", s
+}
+
+// scan turns raw source text into srcLines, skipping comments/blank lines.
+func scan(src string) ([]srcLine, error) {
+	var out []srcLine
+	for n, raw := range strings.Split(src, "\n") {
+		line := n + 1
+		if isComment(raw) {
+			continue
+		}
+		label, rest := splitLabel(raw)
+		toks, err := lexLine(rest, line)
+		if err != nil {
+			return nil, err
+		}
+		if len(toks) == 1 { // only EOF (label-only line is invalid)
+			if label != "" {
+				return nil, fmt.Errorf("line %d: label with no statement", line)
+			}
+			continue
+		}
+		out = append(out, srcLine{num: line, label: label, toks: toks})
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+package modref
+
+import (
+	"testing"
+
+	"suifx/internal/ir"
+	"suifx/internal/minif"
+)
+
+const src = `
+      SUBROUTINE leaf(x, y)
+      REAL x, y(10)
+      COMMON /blk/ g(20), h
+      INTEGER i
+      x = h + 1.0
+      DO 10 i = 1, 10
+        y(i) = g(i)
+10    CONTINUE
+      END
+      SUBROUTINE mid(a)
+      REAL a(10), t
+      CALL leaf(t, a)
+      END
+      PROGRAM main
+      COMMON /blk/ g(20), h
+      REAL b(10), s
+      h = 2.0
+      CALL mid(b)
+      s = b(1)
+      END
+`
+
+func analyze(t *testing.T) (*ir.Program, *Info) {
+	t.Helper()
+	prog, err := minif.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, Analyze(prog)
+}
+
+func TestDirectEffects(t *testing.T) {
+	_, info := analyze(t)
+	leaf := info.Effects["LEAF"]
+	if !leaf.ModParam[0] {
+		t.Fatal("leaf modifies x (param 0)")
+	}
+	if !leaf.ModParam[1] {
+		t.Fatal("leaf modifies y (param 1)")
+	}
+	if len(leaf.RefCommon["BLK"]) == 0 {
+		t.Fatal("leaf reads /blk/")
+	}
+	if len(leaf.ModCommon["BLK"]) != 0 {
+		t.Fatal("leaf does not write /blk/")
+	}
+}
+
+func TestTransitiveEffects(t *testing.T) {
+	_, info := analyze(t)
+	mid := info.Effects["MID"]
+	// mid's a is passed to leaf's y, which is modified.
+	if !mid.ModParam[0] {
+		t.Fatal("mid transitively modifies a")
+	}
+	if len(mid.RefCommon["BLK"]) == 0 {
+		t.Fatal("mid transitively reads /blk/")
+	}
+}
+
+func TestCallModsAndRefs(t *testing.T) {
+	prog, info := analyze(t)
+	main := prog.Main()
+	var call *ir.Call
+	ir.WalkStmts(main.Body, func(s ir.Stmt) bool {
+		if c, ok := s.(*ir.Call); ok {
+			call = c
+		}
+		return true
+	})
+	mods := info.CallMods(main, call)
+	names := map[string]bool{}
+	for _, s := range mods {
+		names[s.Name] = true
+	}
+	if !names["B"] {
+		t.Fatalf("CALL mid(b) modifies b: %v", names)
+	}
+	refs := info.CallRefs(main, call)
+	rnames := map[string]bool{}
+	for _, s := range refs {
+		rnames[s.Name] = true
+	}
+	if !rnames["G"] || !rnames["H"] {
+		t.Fatalf("CALL mid(b) reads /blk/ members: %v", rnames)
+	}
+}
+
+func TestModifiedScalars(t *testing.T) {
+	prog, info := analyze(t)
+	main := prog.Main()
+	mods := info.ModifiedScalars(main, main.Body)
+	names := map[string]bool{}
+	for s := range mods {
+		names[s.Name] = true
+	}
+	if !names["H"] || !names["S"] {
+		t.Fatalf("modified scalars: %v", names)
+	}
+	if names["B"] {
+		t.Fatal("arrays must not appear in modified scalars")
+	}
+}
+
+func TestRangeOverlap(t *testing.T) {
+	if !(Range{1, 5}).overlaps(Range{5, 9}) {
+		t.Fatal("touching ranges overlap")
+	}
+	if (Range{1, 4}).overlaps(Range{5, 9}) {
+		t.Fatal("disjoint ranges")
+	}
+}

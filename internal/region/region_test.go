@@ -1,0 +1,136 @@
+package region
+
+import (
+	"testing"
+
+	"suifx/internal/ir"
+	"suifx/internal/minif"
+)
+
+const nested = `
+      SUBROUTINE work(a, n)
+      REAL a(100)
+      INTEGER n, i
+      DO 10 i = 1, n
+        a(i) = a(i) + 1.0
+10    CONTINUE
+      END
+      PROGRAM main
+      REAL a(100), b(100)
+      INTEGER i, j, n
+      n = 100
+      DO 100 i = 1, n
+        DO 50 j = 1, n
+          b(j) = a(j) * 2.0
+50      CONTINUE
+        CALL work(a, n)
+100   CONTINUE
+      END
+`
+
+func TestBuildRegions(t *testing.T) {
+	prog := minif.MustParse("nested", nested)
+	info := Build(prog)
+
+	top := info.ProcTop["MAIN"]
+	if top == nil || top.Kind != ProcRegion {
+		t.Fatal("no MAIN proc region")
+	}
+	if len(top.Children) != 1 {
+		t.Fatalf("MAIN children = %d, want 1", len(top.Children))
+	}
+	outer := top.Children[0]
+	if outer.Kind != LoopRegion || outer.ID() != "MAIN/100" {
+		t.Fatalf("outer = %s %v", outer.ID(), outer.Kind)
+	}
+	body := outer.Body()
+	if body.Kind != LoopBody || len(body.Children) != 1 {
+		t.Fatalf("outer body children = %d", len(body.Children))
+	}
+	inner := body.Children[0]
+	if inner.ID() != "MAIN/50" || inner.Depth != 2 {
+		t.Fatalf("inner = %s depth %d", inner.ID(), inner.Depth)
+	}
+	if inner.EnclosingLoop() != outer {
+		t.Fatal("EnclosingLoop wrong")
+	}
+}
+
+func TestCallSitesAndNestKind(t *testing.T) {
+	prog := minif.MustParse("nested", nested)
+	info := Build(prog)
+	outer := info.ProcTop["MAIN"].Children[0]
+	inner := outer.Body().Children[0]
+
+	direct := outer.Body().CallSites()
+	if len(direct) != 1 || direct[0].Name != "WORK" {
+		t.Fatalf("direct call sites = %v", direct)
+	}
+	if got := inner.Body().CallSites(); len(got) != 0 {
+		t.Fatalf("inner call sites = %v", got)
+	}
+	if info.LoopNest(outer) != "inter" {
+		t.Fatal("outer loop should be inter")
+	}
+	if info.LoopNest(inner) != "intra" {
+		t.Fatal("inner loop should be intra")
+	}
+}
+
+func TestInnerToOuterOrder(t *testing.T) {
+	prog := minif.MustParse("nested", nested)
+	info := Build(prog)
+	order := info.InnerToOuter("MAIN")
+	if len(order) != 2 {
+		t.Fatalf("regions = %d", len(order))
+	}
+	if order[0].ID() != "MAIN/50" || order[1].ID() != "MAIN/100" {
+		t.Fatalf("order = %s, %s", order[0].ID(), order[1].ID())
+	}
+}
+
+func TestLoopRegionsAcrossProcs(t *testing.T) {
+	prog := minif.MustParse("nested", nested)
+	info := Build(prog)
+	all := info.LoopRegions()
+	if len(all) != 3 {
+		t.Fatalf("loop regions = %d, want 3", len(all))
+	}
+	ids := map[string]bool{}
+	for _, r := range all {
+		ids[r.ID()] = true
+	}
+	for _, want := range []string{"WORK/10", "MAIN/100", "MAIN/50"} {
+		if !ids[want] {
+			t.Fatalf("missing region %s in %v", want, ids)
+		}
+	}
+}
+
+func TestRegionLines(t *testing.T) {
+	prog := minif.MustParse("nested", nested)
+	info := Build(prog)
+	outer := info.ProcTop["MAIN"].Children[0]
+	s, e := outer.Lines()
+	if s >= e || s == 0 {
+		t.Fatalf("lines = %d..%d", s, e)
+	}
+	// Conditional call sites are still found.
+	src := `
+      SUBROUTINE f
+      END
+      PROGRAM main
+      INTEGER i
+      DO 10 i = 1, 5
+        IF (i .EQ. 3) CALL f
+10    CONTINUE
+      END
+`
+	p2 := minif.MustParse("cond", src)
+	info2 := Build(p2)
+	loop := info2.ProcTop["MAIN"].Children[0]
+	if got := loop.Body().CallSites(); len(got) != 1 {
+		t.Fatalf("conditional call not found: %v", got)
+	}
+	var _ ir.Stmt // keep import
+}

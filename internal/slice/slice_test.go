@@ -1,0 +1,286 @@
+package slice
+
+import (
+	"testing"
+
+	"suifx/internal/ir"
+	"suifx/internal/issa"
+	"suifx/internal/minif"
+)
+
+func build(t *testing.T, src string) *issa.Graph {
+	t.Helper()
+	prog, err := minif.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return issa.Build(prog)
+}
+
+func hasLine(r *Result, proc string, line int) bool {
+	m := r.Lines()[proc]
+	return m != nil && m[line]
+}
+
+// Fig 3-3: the context-sensitive slice of G in P must include R's increment
+// and P's own assignment, but not Q's assignment to H.
+const fig33 = `
+      SUBROUTINE r(f)
+      INTEGER f
+      f = f + 1
+      END
+      SUBROUTINE p
+      COMMON /gh/ g, h
+      INTEGER g, h, x
+      g = 1
+      CALL r(g)
+      x = g
+      END
+      SUBROUTINE q
+      COMMON /gh/ g, h
+      INTEGER g, h
+      h = 2
+      CALL r(h)
+      END
+      PROGRAM main
+      COMMON /gh/ g, h
+      INTEGER g, h
+      g = 0
+      h = 0
+      CALL p
+      CALL q
+      END
+`
+
+func TestContextSensitiveSlice(t *testing.T) {
+	g := build(t, fig33)
+	s := New(g, Config{Kind: Data})
+	// Lines (1-based in the fig33 string): f=f+1 at 4, g=1 at 9, CALL r(g)
+	// at 10, x=g at 11, h=2 at 16, CALL r(h) at 17.
+	res := s.OfUse("P", "G", 11)
+	if !hasLine(res, "R", 4) {
+		t.Fatalf("slice %v should include R's increment", res.SortedLines())
+	}
+	if !hasLine(res, "P", 9) {
+		t.Fatalf("slice %v should include g = 1", res.SortedLines())
+	}
+	if hasLine(res, "Q", 16) {
+		t.Fatalf("context-insensitive leak: slice %v includes Q's h = 2", res.SortedLines())
+	}
+}
+
+func TestSliceThroughLoopRecurrence(t *testing.T) {
+	src := `
+      PROGRAM main
+      REAL a(10), s, seed
+      INTEGER i
+      seed = 3.0
+      s = seed
+      DO 10 i = 1, 10
+        s = s + a(i)
+10    CONTINUE
+      a(1) = s
+      END
+`
+	g := build(t, src)
+	s := New(g, Config{Kind: Data})
+	res := s.OfUse("MAIN", "S", 10)       // a(1) = s
+	for _, want := range []int{5, 6, 8} { // seed=3.0, s=seed, s=s+a(i)
+		if !hasLine(res, "MAIN", want) {
+			t.Fatalf("slice %v missing line %d", res.SortedLines(), want)
+		}
+	}
+}
+
+// §3.1's portfolio example: the control slice of the write to XPS must
+// include the IF ... GO TO guard, which is what the user overlooked.
+const portfolio = `
+      PROGRAM main
+      REAL xps(50), y(51), xp(500)
+      INTEGER s, h, jj, n, nls
+      n = 9
+      nls = 50
+      DO 2365 s = 1, n
+        IF (s .NE. 1 .AND. s .NE. 5) GO TO 2355
+        DO 2350 h = 1, nls
+          xps(h) = y(h+1)
+2350    CONTINUE
+2355    CONTINUE
+        DO 2360 jj = 1, nls
+          xp(s+(jj-1)*n) = xps(jj)
+2360    CONTINUE
+2365  CONTINUE
+      END
+`
+
+func TestControlSlicePortfolio(t *testing.T) {
+	g := build(t, portfolio)
+	s := New(g, Config{Kind: Program})
+	// Control slice of the write xps(h) = y(h+1) at line 10.
+	res := s.ControlSliceOfLine("MAIN", 10)
+	foundGuard := false
+	for st := range res.ExtraStmts {
+		if st.Position().Line == 8 { // the IF ... GO TO 2355 guard
+			foundGuard = true
+		}
+	}
+	if !foundGuard {
+		t.Fatalf("control slice must include the IF guard at line 8: %v", res.SortedLines())
+	}
+	// The read at line 14 is NOT controlled by that IF.
+	res2 := s.ControlSliceOfLine("MAIN", 14)
+	for st := range res2.ExtraStmts {
+		if st.Position().Line == 8 {
+			t.Fatal("the read of xps is not under the line-8 guard")
+		}
+	}
+}
+
+func TestArrayRestrictedPruning(t *testing.T) {
+	src := `
+      PROGRAM main
+      REAL rs(10), rl(10), w(10)
+      INTEGER k, kc, i
+      DO 5 i = 1, 10
+        rs(i) = w(i) * 2.0
+5     CONTINUE
+      kc = 0
+      DO 10 k = 1, 9
+        IF (rs(k) .GT. 2.0) kc = kc + 1
+10    CONTINUE
+      rl(1) = kc
+      END
+`
+	g := build(t, src)
+	full := New(g, Config{Kind: Program})
+	restricted := New(g, Config{Kind: Program, ArrayRestricted: true})
+	fr := full.OfUse("MAIN", "KC", 12) // rl(1) = kc
+	rr := restricted.OfUse("MAIN", "KC", 12)
+	if fr.Size() <= rr.Size() {
+		t.Fatalf("array restriction should shrink the slice: full=%d restricted=%d", fr.Size(), rr.Size())
+	}
+	// The defining line of rs (inside loop 5) disappears once rs is pruned.
+	if !hasLine(fr, "MAIN", 6) {
+		t.Fatalf("full slice %v should reach rs's definition", fr.SortedLines())
+	}
+	if hasLine(rr, "MAIN", 6) {
+		t.Fatalf("array-restricted slice %v should prune at rs", rr.SortedLines())
+	}
+}
+
+func TestRegionRestrictedPruning(t *testing.T) {
+	src := `
+      PROGRAM main
+      REAL a(10), b(10)
+      INTEGER i, base
+      base = 3
+      DO 10 i = 1, 10
+        a(i) = b(i) + base
+10    CONTINUE
+      END
+`
+	g := build(t, src)
+	full := New(g, Config{Kind: Program})
+	region := New(g, Config{Kind: Program, Region: &Region{Proc: "MAIN", Lo: 6, Hi: 8}})
+	fr := full.OfUse("MAIN", "BASE", 7)
+	rr := region.OfUse("MAIN", "BASE", 7)
+	if !hasLine(fr, "MAIN", 5) {
+		t.Fatalf("full slice %v should include base = 3", fr.SortedLines())
+	}
+	if rr.SizeIn(Region{Proc: "MAIN", Lo: 6, Hi: 8}) > fr.SizeIn(Region{Proc: "MAIN", Lo: 6, Hi: 8}) {
+		t.Fatal("region restriction must not grow the in-region slice")
+	}
+}
+
+func TestCallingContextSlice(t *testing.T) {
+	g := build(t, fig33)
+	s := New(g, Config{Kind: Data})
+	// Find the CALL r(g) statement in P (line 10).
+	var callInP *ir.Call
+	ir.WalkStmts(g.Prog.Proc("P").Body, func(st ir.Stmt) bool {
+		if c, ok := st.(*ir.Call); ok && c.Pos.Line == 10 {
+			callInP = c
+		}
+		return true
+	})
+	if callInP == nil {
+		t.Fatal("no CALL r(g) found")
+	}
+	// Slice of f inside R, in the context of P's call: includes g = 1 but
+	// not Q's h = 2.
+	res := s.OfUseInContext("R", "F", 4, []*ir.Call{callInP})
+	if !hasLine(res, "P", 9) {
+		t.Fatalf("context slice %v should include g = 1 from P", res.SortedLines())
+	}
+	if hasLine(res, "Q", 16) {
+		t.Fatalf("context slice %v must exclude Q", res.SortedLines())
+	}
+	// Without a context, both callers contribute.
+	all := s.OfUse("R", "F", 4)
+	if !hasLine(all, "Q", 16) || !hasLine(all, "P", 9) {
+		t.Fatalf("context-free slice %v should include both callers", all.SortedLines())
+	}
+}
+
+func TestWeakUpdateKeepsOldArrayValue(t *testing.T) {
+	src := `
+      PROGRAM main
+      REAL a(10), x, y
+      INTEGER i
+      x = 1.0
+      a(1) = x
+      y = 2.0
+      a(2) = y
+      x = a(1)
+      END
+`
+	g := build(t, src)
+	s := New(g, Config{Kind: Data})
+	res := s.OfUse("MAIN", "A", 9) // x = a(1)
+	// Weak updates: both stores (and both scalar defs) are in the slice.
+	for _, want := range []int{5, 6, 7, 8} {
+		if !hasLine(res, "MAIN", want) {
+			t.Fatalf("slice %v missing line %d", res.SortedLines(), want)
+		}
+	}
+}
+
+func TestHierarchicalSharing(t *testing.T) {
+	// The same subslice feeding two queries must be the same Summary.
+	src := `
+      PROGRAM main
+      INTEGER a, b, c, d
+      a = 1
+      b = a + 1
+      c = b * 2
+      d = b * 3
+      END
+`
+	g := build(t, src)
+	s := New(g, Config{Kind: Data})
+	var cDef, dDef *issa.Node
+	for _, n := range g.Nodes {
+		if n.Sym != nil && n.Sym.Name == "C" && n.Kind == issa.KDef {
+			cDef = n
+		}
+		if n.Sym != nil && n.Sym.Name == "D" && n.Kind == issa.KDef {
+			dDef = n
+		}
+	}
+	sc := s.Of(cDef)
+	sd := s.Of(dDef)
+	if len(sc.Subs) == 0 || len(sd.Subs) == 0 {
+		t.Fatal("summaries missing subs")
+	}
+	shared := false
+	for _, x := range sc.Subs {
+		for _, y := range sd.Subs {
+			if x == y {
+				shared = true
+			}
+		}
+	}
+	if !shared {
+		t.Fatal("the slice of b should be shared between c's and d's summaries")
+	}
+}

@@ -1,0 +1,340 @@
+// Package summary implements the interprocedural array data-flow analysis of
+// §5.2 and §6.2: for every region (loop body, loop, procedure) it computes,
+// per array, the four-tuple ⟨R, E, W, M⟩ of may-read, upwards-exposed-read,
+// may-write and must-write sections, represented as unions of systems of
+// linear inequalities. Commutative-update (reduction) regions are tracked
+// alongside, per operator, exactly as §6.2.2.3 integrates reduction
+// recognition into the data-flow framework.
+//
+// Scalars participate uniformly as 0-dimensional arrays.
+package summary
+
+import (
+	"sort"
+	"strings"
+
+	"suifx/internal/ir"
+	"suifx/internal/lin"
+)
+
+// Reduction operator names.
+const (
+	RedAdd = "+"
+	RedMul = "*"
+	RedMin = "MIN"
+	RedMax = "MAX"
+)
+
+// Access is the per-array summary for one region: the paper's
+// ⟨R, E, W, M⟩ tuple plus reduction bookkeeping. W and M are disjoint:
+// W holds may-writes not known to always execute; M holds must-writes.
+type Access struct {
+	Sym *ir.Symbol // canonical symbol (see Analysis.Canon)
+	R   *lin.Section
+	E   *lin.Section
+	W   *lin.Section
+	M   *lin.Section
+	// Red maps a commutative operator to the section updated only through
+	// that operator; Plain is everything touched by non-reduction accesses
+	// and PlainW the subset of Plain that is written.
+	Red    map[string]*lin.Section
+	Plain  *lin.Section
+	PlainW *lin.Section
+}
+
+func newAccess(sym *ir.Symbol) *Access {
+	nd := len(sym.Dims)
+	return &Access{
+		Sym: sym,
+		R:   lin.EmptySection(nd), E: lin.EmptySection(nd),
+		W: lin.EmptySection(nd), M: lin.EmptySection(nd),
+		Red:    map[string]*lin.Section{},
+		Plain:  lin.EmptySection(nd),
+		PlainW: lin.EmptySection(nd),
+	}
+}
+
+// Writes returns W ∪ M, the full may-write section.
+func (a *Access) Writes() *lin.Section { return a.W.Union(a.M) }
+
+// Clone deep-copies the access.
+func (a *Access) Clone() *Access {
+	out := &Access{Sym: a.Sym, R: a.R.Clone(), E: a.E.Clone(), W: a.W.Clone(), M: a.M.Clone(),
+		Red: map[string]*lin.Section{}, Plain: a.Plain.Clone(), PlainW: a.PlainW.Clone()}
+	for op, s := range a.Red {
+		out.Red[op] = s.Clone()
+	}
+	return out
+}
+
+// Tuple is a whole-region summary: one Access per touched canonical symbol.
+type Tuple struct {
+	Arrays map[*ir.Symbol]*Access
+}
+
+// NewTuple returns an empty summary.
+func NewTuple() *Tuple { return &Tuple{Arrays: map[*ir.Symbol]*Access{}} }
+
+// Get returns (creating) the access record for sym.
+func (t *Tuple) Get(sym *ir.Symbol) *Access {
+	a := t.Arrays[sym]
+	if a == nil {
+		a = newAccess(sym)
+		t.Arrays[sym] = a
+	}
+	return a
+}
+
+// Lookup returns the access record for sym or nil.
+func (t *Tuple) Lookup(sym *ir.Symbol) *Access { return t.Arrays[sym] }
+
+// Clone deep-copies the tuple.
+func (t *Tuple) Clone() *Tuple {
+	out := NewTuple()
+	for s, a := range t.Arrays {
+		out.Arrays[s] = a.Clone()
+	}
+	return out
+}
+
+// SortedSyms returns the touched symbols in deterministic order.
+func (t *Tuple) SortedSyms() []*ir.Symbol {
+	out := make([]*ir.Symbol, 0, len(t.Arrays))
+	for s := range t.Arrays {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Common < out[j].Common
+	})
+	return out
+}
+
+// Compose returns the summary of "a then b" (the paper's transfer function T):
+// R = Ra ∪ Rb, E = Ea ∪ (Eb − Ma), W = Wa ∪ Wb, M = Ma ∪ Mb.
+func Compose(a, b *Tuple) *Tuple {
+	out := a.Clone()
+	for sym, bb := range b.Arrays {
+		aa := out.Get(sym)
+		aa.R = aa.R.Union(bb.R)
+		aa.E = aa.E.Union(bb.E.Subtract(aa.M))
+		aa.W = aa.W.Union(bb.W)
+		aa.M = aa.M.Union(bb.M)
+		for op, s := range bb.Red {
+			aa.Red[op] = redOr(aa.Red[op], s)
+		}
+		aa.Plain = aa.Plain.Union(bb.Plain)
+		aa.PlainW = aa.PlainW.Union(bb.PlainW)
+	}
+	return out
+}
+
+// Meet combines summaries of alternative paths (the ∧ operator):
+// R, E, W union; M intersection.
+func Meet(a, b *Tuple) *Tuple {
+	out := NewTuple()
+	syms := map[*ir.Symbol]bool{}
+	for s := range a.Arrays {
+		syms[s] = true
+	}
+	for s := range b.Arrays {
+		syms[s] = true
+	}
+	for s := range syms {
+		aa, ba := a.Arrays[s], b.Arrays[s]
+		if aa == nil {
+			aa = newAccess(s)
+		}
+		if ba == nil {
+			ba = newAccess(s)
+		}
+		oa := out.Get(s)
+		oa.R = aa.R.Union(ba.R)
+		oa.E = aa.E.Union(ba.E)
+		oa.W = aa.W.Union(ba.W).Union(aa.M.Union(ba.M).Subtract(aa.M.Intersect(ba.M)))
+		oa.M = aa.M.Intersect(ba.M)
+		for op, s2 := range aa.Red {
+			oa.Red[op] = redOr(oa.Red[op], s2)
+		}
+		for op, s2 := range ba.Red {
+			oa.Red[op] = redOr(oa.Red[op], s2)
+		}
+		oa.Plain = aa.Plain.Union(ba.Plain)
+		oa.PlainW = aa.PlainW.Union(ba.PlainW)
+	}
+	return out
+}
+
+func redOr(a, b *lin.Section) *lin.Section {
+	if a == nil {
+		return b.Clone()
+	}
+	return a.Union(b)
+}
+
+// CloseLoop computes the loop-level summary from a body summary by
+// projecting away the loop index and every loop-variant unknown minted in
+// the body (§5.2.2's closure operator). Must-write polyhedra survive only
+// when the projection is exact: no variant unknowns and, if the index is
+// referenced, exact loop bounds. When refineE returns true for an access
+// (requires exact bounds), the §5.2.2.3 enhancement subtracts the
+// must-writes of strictly earlier iterations from the upwards-exposed
+// reads before the closure — which resolves recurrences like flo88's psmoo
+// (Fig 5-4) to just the truly exposed boundary elements.
+func CloseLoop(body *Tuple, idxVar string, exactBounds bool, variant []string, bounds *lin.System, refineE func(a *Access) bool) *Tuple {
+	proj := append([]string{idxVar}, variant...)
+	out := NewTuple()
+	for sym, a := range body.Arrays {
+		oa := out.Get(sym)
+		oa.R = a.R.Project(proj...)
+		oa.W = a.W.Project(proj...)
+		for op, s := range a.Red {
+			oa.Red[op] = s.Project(proj...)
+		}
+		oa.Plain = a.Plain.Project(proj...)
+		oa.PlainW = a.PlainW.Project(proj...)
+
+		// Must-writes: keep polyhedra whose projection is exact.
+		oa.M = lin.EmptySection(len(sym.Dims))
+		var demoted *lin.Section // polyhedra demoted from M to W
+		for _, p := range a.M.Polys {
+			if mustProjectable(p, idxVar, exactBounds, variant) {
+				oa.M = oa.M.Union(&lin.Section{NDim: len(sym.Dims), Polys: []*lin.System{p.EliminateVars(proj...)}, Exact: a.M.Exact})
+			} else {
+				d := &lin.Section{NDim: len(sym.Dims), Polys: []*lin.System{p.EliminateVars(proj...)}, Exact: false}
+				if demoted == nil {
+					demoted = d
+				} else {
+					demoted = demoted.Union(d)
+				}
+			}
+		}
+		if demoted != nil {
+			oa.W = oa.W.Union(demoted)
+		}
+
+		e := a.E
+		if refineE != nil && refineE(a) {
+			e = e.Subtract(earlierMustWrites(a.M, idxVar, exactBounds, variant, bounds))
+		}
+		oa.E = e.Project(proj...)
+	}
+	return out
+}
+
+// earlierMustWrites builds, as a function of the current iteration idxVar,
+// the section definitely written by all strictly earlier iterations: each
+// must-write polyhedron (only those with exact, variant-free projections)
+// has its index renamed to a fresh variable constrained to the loop bounds
+// and < idxVar, which is then projected away. The bound constraints matter:
+// without them an index-free must-write would wrongly appear to cover the
+// first iteration's exposed reads.
+func earlierMustWrites(m *lin.Section, idxVar string, exactBounds bool, variant []string, bounds *lin.System) *lin.Section {
+	prev := "$prev$" + idxVar
+	out := lin.EmptySection(m.NDim)
+	for _, p := range m.Polys {
+		if !mustProjectable(p, idxVar, exactBounds, variant) {
+			continue
+		}
+		q := p.Rename(idxVar, prev)
+		if bounds != nil {
+			q = q.Intersect(bounds.Rename(idxVar, prev))
+		}
+		q.AddGE(lin.Var(idxVar).Sub(lin.Var(prev)).AddConst(-1)) // prev <= idx-1
+		out = out.Union(&lin.Section{NDim: m.NDim, Polys: []*lin.System{q.Eliminate(prev)}, Exact: m.Exact})
+	}
+	return out
+}
+
+func mustProjectable(p *lin.System, idxVar string, exactBounds bool, variant []string) bool {
+	for _, v := range p.Vars() {
+		if v == idxVar {
+			if !exactBounds {
+				return false
+			}
+			continue
+		}
+		for _, bad := range variant {
+			if v == bad {
+				return false
+			}
+		}
+		if strings.HasPrefix(v, "%") {
+			// A variant unknown minted in an inner loop that leaked here.
+			return false
+		}
+	}
+	return true
+}
+
+// ProjectSyms projects the given symbolic variables out of every section
+// (over-approximating); must-writes referencing them are demoted to
+// may-writes. Used at procedure boundaries to eliminate callee-local names.
+func (t *Tuple) ProjectSyms(drop func(v string) bool) *Tuple {
+	out := NewTuple()
+	for sym, a := range t.Arrays {
+		oa := out.Get(sym)
+		oa.R = projectIf(a.R, drop)
+		oa.E = projectIf(a.E, drop)
+		oa.W = projectIf(a.W, drop)
+		oa.Plain = projectIf(a.Plain, drop)
+		oa.PlainW = projectIf(a.PlainW, drop)
+		for op, s := range a.Red {
+			oa.Red[op] = projectIf(s, drop)
+		}
+		oa.M = lin.EmptySection(len(sym.Dims))
+		for _, p := range a.M.Polys {
+			bad := false
+			for _, v := range p.Vars() {
+				if drop(v) {
+					bad = true
+					break
+				}
+			}
+			if !bad {
+				oa.M.Polys = append(oa.M.Polys, p.Clone())
+			} else {
+				oa.W = oa.W.Union(&lin.Section{NDim: len(sym.Dims), Polys: []*lin.System{projectPoly(p, drop)}, Exact: false})
+			}
+		}
+		oa.M.Exact = a.M.Exact
+	}
+	return out
+}
+
+func projectIf(s *lin.Section, drop func(v string) bool) *lin.Section {
+	out := &lin.Section{NDim: s.NDim, Exact: s.Exact}
+	for _, p := range s.Polys {
+		out.Polys = append(out.Polys, projectPoly(p, drop))
+	}
+	return out
+}
+
+func projectPoly(p *lin.System, drop func(v string) bool) *lin.System {
+	out := p
+	for _, v := range p.Vars() {
+		if drop(v) {
+			out = out.Eliminate(v)
+		}
+	}
+	return out
+}
+
+// String renders a tuple for debugging.
+func (t *Tuple) String() string {
+	var b strings.Builder
+	for _, sym := range t.SortedSyms() {
+		a := t.Arrays[sym]
+		b.WriteString(sym.Name + ": R=" + a.R.String() + " E=" + a.E.String() +
+			" W=" + a.W.String() + " M=" + a.M.String())
+		for _, op := range []string{RedAdd, RedMul, RedMin, RedMax} {
+			if s, ok := a.Red[op]; ok && !s.IsEmpty() {
+				b.WriteString(" Red[" + op + "]=" + s.String())
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

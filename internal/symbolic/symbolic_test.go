@@ -1,0 +1,161 @@
+package symbolic
+
+import (
+	"testing"
+
+	"suifx/internal/ir"
+	"suifx/internal/lin"
+	"suifx/internal/minif"
+	"suifx/internal/modref"
+)
+
+func setup(t *testing.T, src string) (*ir.Program, *Evaluator) {
+	t.Helper()
+	prog, err := minif.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := modref.Analyze(prog)
+	return prog, NewEvaluator(mr, prog.Main())
+}
+
+func TestAffineConversion(t *testing.T) {
+	prog, ev := setup(t, `
+      PROGRAM main
+      INTEGER i, j, n
+      REAL a(10)
+      i = 1
+      END
+`)
+	m := prog.Main()
+	i, j := m.Lookup("I"), m.Lookup("J")
+	// 2*i + j - 3
+	e := &ir.Bin{Op: ir.OpSub,
+		L: &ir.Bin{Op: ir.OpAdd,
+			L: &ir.Bin{Op: ir.OpMul, L: ir.IntConst(2), R: &ir.VarRef{Sym: i}},
+			R: &ir.VarRef{Sym: j}},
+		R: ir.IntConst(3)}
+	v, ok, variant := ev.Affine(e)
+	if !ok || variant {
+		t.Fatalf("affine failed: ok=%v variant=%v", ok, variant)
+	}
+	want := lin.Term("I", 2).Add(lin.Var("J")).AddConst(-3)
+	if !v.Equal(want) {
+		t.Fatalf("got %v want %v", v, want)
+	}
+	// i * j is not affine.
+	if _, ok, _ := ev.Affine(&ir.Bin{Op: ir.OpMul, L: &ir.VarRef{Sym: i}, R: &ir.VarRef{Sym: j}}); ok {
+		t.Fatal("i*j must not be affine")
+	}
+	// Array loads are not affine.
+	a := m.Lookup("A")
+	if _, ok, _ := ev.Affine(&ir.ArrayRef{Sym: a, Idx: []ir.Expr{ir.IntConst(1)}}); ok {
+		t.Fatal("array load must not be affine")
+	}
+}
+
+func TestForwardSubstitutionAndKill(t *testing.T) {
+	prog, ev := setup(t, `
+      PROGRAM main
+      INTEGER k, n
+      k = 1
+      END
+`)
+	m := prog.Main()
+	k, n := m.Lookup("K"), m.Lookup("N")
+	ev.AssignScalar(k, ir.IntConst(5))
+	if v, ok := ev.ConstValue(k); !ok || v != 5 {
+		t.Fatalf("k = %v, %v", v, ok)
+	}
+	// k = k + 1 builds on the previous value.
+	ev.AssignScalar(k, &ir.Bin{Op: ir.OpAdd, L: &ir.VarRef{Sym: k}, R: ir.IntConst(1)})
+	if v, ok := ev.ConstValue(k); !ok || v != 6 {
+		t.Fatalf("after increment k = %v, %v", v, ok)
+	}
+	// n = k + 2 in terms of constants.
+	ev.AssignScalar(n, &ir.Bin{Op: ir.OpAdd, L: &ir.VarRef{Sym: k}, R: ir.IntConst(2)})
+	if v, ok := ev.ConstValue(n); !ok || v != 8 {
+		t.Fatalf("n = %v, %v", v, ok)
+	}
+	// Kill makes it opaque but invariant at depth 0.
+	ev.Kill(k)
+	val := ev.Value(k)
+	if val.IsConst() {
+		t.Fatal("killed scalar should be opaque")
+	}
+	if ExprHasVariant(val) {
+		t.Fatal("depth-0 unknowns are invariant")
+	}
+}
+
+func TestLoopContextAndVariance(t *testing.T) {
+	prog, ev := setup(t, `
+      PROGRAM main
+      INTEGER i, k, n
+      REAL a(10)
+      n = 10
+      DO 10 i = 1, n
+        k = i + 1
+10    CONTINUE
+      END
+`)
+	m := prog.Main()
+	loop := m.Loops()[0]
+	ev.AssignScalar(m.Lookup("N"), ir.IntConst(10))
+	lc, leave := ev.EnterLoopBody(loop)
+	if !lc.Exact {
+		t.Fatal("constant-bound loop should be exact")
+	}
+	if !lc.Bounds.ContainsPoint(map[string]int64{"I": 5}) ||
+		lc.Bounds.ContainsPoint(map[string]int64{"I": 11}) {
+		t.Fatalf("bounds wrong: %v", lc.Bounds)
+	}
+	// k is modified in the body: its entry value is a variant unknown.
+	kv := ev.Value(m.Lookup("K"))
+	if !ExprHasVariant(kv) {
+		t.Fatalf("k should be variant at body entry: %v", kv)
+	}
+	// After k = i + 1 it is affine in the index.
+	ev.AssignScalar(m.Lookup("K"), &ir.Bin{Op: ir.OpAdd, L: &ir.VarRef{Sym: m.Lookup("I")}, R: ir.IntConst(1)})
+	kv2 := ev.Value(m.Lookup("K"))
+	if !kv2.Equal(lin.Var("I").AddConst(1)) {
+		t.Fatalf("k = %v, want I+1", kv2)
+	}
+	full := leave()
+	if len(full.Variant) == 0 {
+		t.Fatal("the loop should record its variant names")
+	}
+	if full.IndexVar != "I" {
+		t.Fatalf("index var = %s", full.IndexVar)
+	}
+}
+
+func TestBranchMerge(t *testing.T) {
+	prog, ev := setup(t, `
+      PROGRAM main
+      INTEGER a, b
+      a = 1
+      END
+`)
+	m := prog.Main()
+	a, b := m.Lookup("A"), m.Lookup("B")
+	ev.AssignScalar(a, ir.IntConst(1))
+	ev.AssignScalar(b, ir.IntConst(2))
+	thenEv, elseEv := ev.Branch()
+	thenEv.AssignScalar(a, ir.IntConst(7)) // differs
+	// b untouched in both arms.
+	ev.MergeBranches(thenEv, elseEv)
+	if _, ok := ev.ConstValue(a); ok {
+		t.Fatal("a differs across arms: must be unknown")
+	}
+	if v, ok := ev.ConstValue(b); !ok || v != 2 {
+		t.Fatal("b agrees across arms: must survive")
+	}
+	_ = prog
+}
+
+func TestVariantVarNaming(t *testing.T) {
+	if !IsVariantVar("%K.3") || IsVariantVar("&K.3") || IsVariantVar("K") {
+		t.Fatal("variant prefix detection")
+	}
+}

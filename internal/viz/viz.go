@@ -1,0 +1,212 @@
+// Package viz renders the Rivet visualization metaphors of §2.7 as text:
+// the Codeview "bird's-eye" line map (filtered loops gray, sequential loops
+// black, parallel loops white, a focus bar on the Guru's candidate), a
+// focus-plus-context call-graph browser standing in for the hyperbolic
+// viewer, and an annotated source viewer that can highlight slice lines.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"suifx/internal/ir"
+	"suifx/internal/parallel"
+)
+
+// LineClass is a Codeview line's rendering class.
+type LineClass int
+
+const (
+	// Plain code outside any loop.
+	Plain LineClass = iota
+	// Filtered loops fall below the depth/granularity/time cutoffs.
+	Filtered
+	// Sequential loops are unfiltered and unparallelized.
+	Sequential
+	// Parallel loops were parallelized.
+	Parallel
+	// Focus marks the selected hand-parallelization candidate.
+	Focus
+)
+
+var classGlyph = map[LineClass]byte{
+	Plain:      '.',
+	Filtered:   ':',
+	Sequential: '#',
+	Parallel:   'o',
+	Focus:      '>',
+}
+
+// Codeview renders the bird's-eye view: one row per source line, one glyph
+// per run of characters, classed by the loops covering the line.
+type Codeview struct {
+	Prog *ir.Program
+	Par  *parallel.Result
+	// Filter reports whether a loop should be grayed out (nil = show all).
+	Filter func(li *parallel.LoopInfo) bool
+	// FocusLoop is the white focus bar target (loop ID).
+	FocusLoop string
+	// Columns scales the rendering (glyphs per 4 source characters).
+	Columns int
+}
+
+// classify assigns each source line its class.
+func (cv *Codeview) classify() map[int]LineClass {
+	out := map[int]LineClass{}
+	mark := func(lo, hi int, c LineClass) {
+		for l := lo; l <= hi; l++ {
+			if out[l] < c {
+				out[l] = c
+			}
+		}
+	}
+	for _, li := range cv.Par.Ordered {
+		lo, hi := li.Region.Lines()
+		switch {
+		case li.ID() == cv.FocusLoop:
+			mark(lo, hi, Focus)
+		case cv.Filter != nil && cv.Filter(li):
+			mark(lo, hi, Filtered)
+		case li.Chosen || li.Dep.Parallelizable:
+			mark(lo, hi, Parallel)
+		default:
+			mark(lo, hi, Sequential)
+		}
+	}
+	return out
+}
+
+// Render returns the Codeview text.
+func (cv *Codeview) Render() string {
+	cols := cv.Columns
+	if cols <= 0 {
+		cols = 4
+	}
+	classes := cv.classify()
+	var b strings.Builder
+	for i, text := range cv.Prog.Source {
+		line := i + 1
+		n := (len(strings.TrimRight(text, " \t")) + cols - 1) / cols
+		if n == 0 {
+			b.WriteString("\n")
+			continue
+		}
+		g := classGlyph[classes[line]]
+		fmt.Fprintf(&b, "%4d %s\n", line, strings.Repeat(string(g), n))
+	}
+	return b.String()
+}
+
+// CallGraph renders a focus-plus-context call-graph browser: the focused
+// procedure expands fully, everything else collapses beyond depth 1 (the
+// text analogue of the hyperbolic viewer).
+type CallGraph struct {
+	Prog  *ir.Program
+	Focus string
+	// Weight optionally annotates nodes (e.g. execution time share).
+	Weight func(proc string) string
+}
+
+// Render returns the browser text, rooted at the main program.
+func (cg *CallGraph) Render() string {
+	var b strings.Builder
+	graph := cg.Prog.CallGraph()
+	main := cg.Prog.Main()
+	if main == nil {
+		return ""
+	}
+	onFocusPath := map[string]bool{}
+	if cg.Focus != "" {
+		var mark func(n string) bool
+		seen := map[string]bool{}
+		mark = func(n string) bool {
+			if seen[n] {
+				return onFocusPath[n]
+			}
+			seen[n] = true
+			hit := n == cg.Focus
+			for _, c := range graph[n] {
+				if mark(c) {
+					hit = true
+				}
+			}
+			onFocusPath[n] = hit
+			return hit
+		}
+		mark(main.Name)
+	}
+	var rec func(n string, depth int, visited map[string]bool)
+	rec = func(n string, depth int, visited map[string]bool) {
+		label := n
+		if cg.Weight != nil {
+			if w := cg.Weight(n); w != "" {
+				label += " " + w
+			}
+		}
+		marker := "  "
+		if n == cg.Focus {
+			marker = "* "
+		}
+		fmt.Fprintf(&b, "%s%s%s\n", strings.Repeat("  ", depth), marker, label)
+		if visited[n] {
+			return
+		}
+		visited[n] = true
+		expand := cg.Focus == "" || onFocusPath[n] || depth < 1
+		children := append([]string(nil), graph[n]...)
+		sort.Strings(children)
+		for _, c := range children {
+			if expand {
+				rec(c, depth+1, visited)
+			} else {
+				fmt.Fprintf(&b, "%s  %s ...\n", strings.Repeat("  ", depth+1), c)
+			}
+		}
+	}
+	rec(main.Name, 0, map[string]bool{})
+	return b.String()
+}
+
+// SourceView renders annotated source: slice lines marked with '*', the
+// queried reference with '>', loop headers with their parallelization
+// verdicts.
+type SourceView struct {
+	Prog *ir.Program
+	// Highlight marks lines (e.g. a program slice).
+	Highlight map[int]bool
+	// Anchor is the queried reference's line.
+	Anchor int
+	// From..To bound the display (0 = whole file).
+	From, To int
+	// Verdicts annotates loop header lines.
+	Verdicts map[int]string
+}
+
+// Render returns the annotated source text.
+func (sv *SourceView) Render() string {
+	from, to := sv.From, sv.To
+	if from <= 0 {
+		from = 1
+	}
+	if to <= 0 || to > len(sv.Prog.Source) {
+		to = len(sv.Prog.Source)
+	}
+	var b strings.Builder
+	for line := from; line <= to; line++ {
+		mark := " "
+		if sv.Highlight[line] {
+			mark = "*"
+		}
+		if line == sv.Anchor {
+			mark = ">"
+		}
+		text := sv.Prog.SourceLine(line)
+		fmt.Fprintf(&b, "%s%5d %s", mark, line, text)
+		if v := sv.Verdicts[line]; v != "" {
+			fmt.Fprintf(&b, "   ! %s", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

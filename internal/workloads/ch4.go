@@ -1,0 +1,421 @@
+package workloads
+
+import "suifx/internal/parallel"
+
+// The four Chapter 4 applications. Each reproduces its paper story:
+//
+//   - mdg: interf/1000 dominates execution, is blocked statically only by
+//     the conditionally-written array RL (Fig 4-3), shows no dynamic
+//     dependences, and parallelizes after the user asserts RL privatizable.
+//   - hydro: vsetuv/85 and friends have loop-variant private ranges written
+//     through calls (Fig 4-5 / Fig 5-1); dkrc's upwards-exposed first
+//     element needs a user assertion, aif3 needs the liveness analysis.
+//   - arc3d: stepf3d's SN is initialized under N=3/4/5 conditionals that
+//     cover the iteration space — privatizable only to a human (§4.4.1).
+//   - flo88: psmoo's temporaries need the input relationship IE = IL+1
+//     (§4.4.1); its vector-style temporaries are the Chapter 5 contraction
+//     targets.
+
+// Mdg is the molecular-dynamics model (Perfect Club).
+var Mdg = register(&Workload{
+	Name:        "mdg",
+	Suite:       "ch4",
+	Description: "Molecular dynamics model",
+	DataSet:     "60 molecules, 4 steps",
+	Source: `
+C     mdg: molecular dynamics model (scaled reproduction)
+      SUBROUTINE dists(i, j)
+      COMMON /coords/ xm(200), vm(200)
+      COMMON /work/ rs(16), rl(16)
+      INTEGER i, j, k
+      DO 10 k = 1, 9
+        rs(k) = ABS(xm(i) - xm(j)) + k * 9.0
+10    CONTINUE
+      END
+
+      SUBROUTINE vforce(cut2)
+      COMMON /work/ rs(16), rl(16)
+      REAL cut2
+      INTEGER k
+      DO 1130 k = 2, 5
+        IF (rs(k+4) .LE. cut2) rl(k+4) = rs(k) * 2.0 - rs(k+4)
+1130  CONTINUE
+      END
+
+      SUBROUTINE interf(cut2, nmol)
+      COMMON /work/ rs(16), rl(16)
+      COMMON /forces/ fsum(16), epot
+      REAL cut2
+      INTEGER i, j, k, kc, nmol
+      DO 1000 i = 1, nmol
+        DO 1100 j = 1, nmol
+          CALL dists(i, j)
+          kc = 0
+          DO 1110 k = 1, 9
+            IF (rs(k) .GT. cut2) kc = kc + 1
+1110      CONTINUE
+          IF (kc .NE. 9) THEN
+            CALL vforce(cut2)
+            IF (kc .EQ. 0) THEN
+              DO 1140 k = 11, 14
+                epot = epot + rl(k-5) * 0.001
+1140          CONTINUE
+              DO 1160 k = 6, 9
+                fsum(k) = fsum(k) + rl(k) * 0.01
+1160          CONTINUE
+            ENDIF
+          ENDIF
+1100    CONTINUE
+1000  CONTINUE
+      END
+
+      SUBROUTINE update(nmol)
+      COMMON /coords/ xm(200), vm(200)
+      COMMON /forces/ fsum(16), epot
+      INTEGER i, nmol
+      DO 20 i = 1, nmol
+        vm(i) = vm(i) + fsum(MOD(i,9)+1) * 0.001
+        xm(i) = xm(i) + vm(i) * 0.01
+20    CONTINUE
+      END
+
+      PROGRAM mdg
+      COMMON /coords/ xm(200), vm(200)
+      COMMON /work/ rs(16), rl(16)
+      COMMON /forces/ fsum(16), epot
+      REAL cut2
+      INTEGER i, k, nmol, step, nstep
+      nmol = 60
+      nstep = 4
+      cut2 = 90.0
+      DO 50 i = 1, nmol
+        xm(i) = MOD(i * 13, 97)
+        vm(i) = 0.0
+50    CONTINUE
+      DO 2000 step = 1, nstep
+        epot = 0.0
+        DO 60 k = 1, 16
+          fsum(k) = 0.0
+60      CONTINUE
+        CALL interf(cut2, nmol)
+        CALL update(nmol)
+2000  CONTINUE
+      WRITE(*,*) epot, xm(1)
+      END
+`,
+})
+
+// Hydro is the 2-D Lagrangian hydrodynamics program (Los Alamos).
+var Hydro = register(&Workload{
+	Name:        "hydro",
+	Suite:       "ch4",
+	Description: "2-D Lagrangian hydrodynamics",
+	DataSet:     "96x96 mesh, 3 cycles",
+	Source: `
+C     hydro: 2-D Lagrangian hydrodynamics (scaled reproduction)
+      SUBROUTINE fvsr(q, n)
+      REAL q(120)
+      INTEGER j, n
+      DO 10 j = 1, n
+        q(j) = j * 0.5
+10    CONTINUE
+      END
+
+      SUBROUTINE vsetuv
+      COMMON /mesh/ v(100,100), duac(100,100)
+      COMMON /wrk/ aif3(120), dkrc(120)
+      COMMON /bounds/ klower(100), kupper(100), lmax, kmax
+      INTEGER l, k, k1, k2
+      DO 85 l = 2, lmax
+        k1 = klower(l)
+        k2 = kupper(l)
+        IF (k1 .EQ. 0) GO TO 85
+        CALL fvsr(aif3(k1), k2 - k1 + 1)
+        DO 60 k = k1, k2
+          IF (aif3(k) .GT. 0.2) dkrc(k) = aif3(k) * 0.3
+60      CONTINUE
+        DO 80 k = k1, k2 - 1
+          duac(k, l) = dkrc(k) + dkrc(k+1)
+80      CONTINUE
+85    CONTINUE
+      END
+
+      SUBROUTINE vqterm
+      COMMON /mesh/ v(100,100), duac(100,100)
+      COMMON /wrk2/ dq(120)
+      COMMON /bounds/ klower(100), kupper(100), lmax, kmax
+      INTEGER k, l, l1, l2
+      DO 85 k = 2, kmax
+        l1 = klower(k)
+        l2 = kupper(k)
+        IF (l1 .EQ. 0) GO TO 85
+        CALL fvsr(dq(l1), l2 - l1 + 1)
+        DO 80 l = l1, l2
+          v(k,l) = v(k,l) + duac(k,l) * dq(l)
+80      CONTINUE
+85    CONTINUE
+      END
+
+      SUBROUTINE vh2200
+      COMMON /state/ r(100,100), e(100,100)
+      COMMON /bounds/ klower(100), kupper(100), lmax, kmax
+      COMMON /tot/ etot
+      INTEGER l, k
+      DO 1000 l = 2, lmax
+        DO 900 k = 2, kmax
+          etot = etot + e(k,l) * 0.001
+900     CONTINUE
+1000  CONTINUE
+      END
+
+      SUBROUTINE vsetgc
+      COMMON /state/ r(100,100), e(100,100)
+      COMMON /wrk3/ gc(120)
+      COMMON /bounds/ klower(100), kupper(100), lmax, kmax
+      INTEGER l, k, g1, g2
+      DO 200 l = 2, lmax
+        g1 = klower(l)
+        g2 = kupper(l)
+        IF (g1 .EQ. 0) GO TO 200
+        CALL fvsr(gc(g1), g2 - g1 + 1)
+        DO 150 k = g1, g2
+          r(k,l) = r(k,l) * 0.98 + gc(k) * 0.02
+150     CONTINUE
+200   CONTINUE
+      END
+
+      SUBROUTINE update
+      COMMON /mesh/ v(100,100), duac(100,100)
+      COMMON /state/ r(100,100), e(100,100)
+      COMMON /bounds/ klower(100), kupper(100), lmax, kmax
+      COMMON /wrk4/ tmp(100)
+      INTEGER l, k
+      DO 1000 l = 2, lmax
+        DO 900 k = 1, kmax
+          tmp(k) = v(k,l) * 0.5 + r(k,l)
+900     CONTINUE
+        DO 950 k = 2, kmax
+          r(k,l) = tmp(k) + tmp(k-1)
+          e(k,l) = e(k,l) * 0.9 + r(k,l) * 0.1
+950     CONTINUE
+1000  CONTINUE
+      END
+
+      PROGRAM hydro
+      COMMON /bounds/ klower(100), kupper(100), lmax, kmax
+      COMMON /mesh/ v(100,100), duac(100,100)
+      COMMON /state/ r(100,100), e(100,100)
+      COMMON /tot/ etot
+      INTEGER cyc, ncyc, l, k
+      lmax = 96
+      kmax = 96
+      ncyc = 3
+      DO 5 l = 1, 100
+        klower(l) = MOD(l, 5)
+        kupper(l) = 80 + MOD(l, 8)
+5     CONTINUE
+      DO 8 l = 1, 100
+        DO 8 k = 1, 100
+          v(k,l) = MOD(k * l, 13) * 0.1
+          r(k,l) = MOD(k + l, 7) * 0.2
+          e(k,l) = 1.0
+8     CONTINUE
+      etot = 0.0
+      DO 100 cyc = 1, ncyc
+        CALL vsetuv
+        CALL vqterm
+        CALL vsetgc
+        CALL vh2200
+        CALL update
+100   CONTINUE
+      WRITE(*,*) r(5,5), e(7,7), v(3,3), etot
+      END
+`,
+})
+
+// Arc3d is the 3-D Euler equations solver (NASA Ames).
+var Arc3d = register(&Workload{
+	Name:        "arc3d",
+	Suite:       "ch4",
+	Description: "3-D Euler equations solver",
+	DataSet:     "80x80 grid, 3 steps",
+	Source: `
+C     arc3d: 3-D Euler solver (scaled reproduction)
+      SUBROUTINE stepf3d
+      COMMON /grid/ q(84,84), s(84,84)
+      COMMON /dims/ lm, nm
+      REAL sn
+      INTEGER l, n, j
+      DO 701 l = 2, lm
+        DO 300 n = 3, 5
+          IF (n .EQ. 3) sn = 0.1
+          IF (n .EQ. 4) sn = 0.2
+          IF (n .EQ. 5) sn = 0.3
+          DO 250 j = 2, nm
+            q(j, l) = q(j, l) + sn * s(j, l)
+250       CONTINUE
+300     CONTINUE
+701   CONTINUE
+      END
+
+      SUBROUTINE stepf3d2
+      COMMON /grid/ q(84,84), s(84,84)
+      COMMON /dims/ lm, nm
+      REAL sm
+      INTEGER l, n, j
+      DO 702 l = 2, lm
+        DO 400 n = 3, 4
+          IF (n .EQ. 3) sm = 0.4
+          IF (n .EQ. 4) sm = 0.6
+          DO 350 j = 2, nm
+            s(j, l) = s(j, l) * 0.99 + sm * 0.01
+350       CONTINUE
+400     CONTINUE
+702   CONTINUE
+      END
+
+      SUBROUTINE filter3d
+      COMMON /grid/ q(84,84), s(84,84)
+      COMMON /dims/ lm, nm
+      COMMON /fwrk/ work(84)
+      INTEGER l, j
+      DO 701 l = 2, lm
+        DO 600 j = 1, nm
+          work(j) = q(j,l) * 0.25
+600     CONTINUE
+        DO 650 j = 2, nm
+          q(j,l) = q(j,l) - work(j) + work(j-1)
+650     CONTINUE
+701   CONTINUE
+      END
+
+      PROGRAM arc3d
+      COMMON /grid/ q(84,84), s(84,84)
+      COMMON /dims/ lm, nm
+      INTEGER step, nstep, l, j
+      lm = 80
+      nm = 80
+      nstep = 3
+      DO 5 l = 1, 84
+        DO 5 j = 1, 84
+          q(j,l) = MOD(j * l, 11) * 0.3
+          s(j,l) = MOD(j + l, 5) * 0.2
+5     CONTINUE
+      DO 100 step = 1, nstep
+        CALL stepf3d
+        CALL stepf3d2
+        CALL filter3d
+100   CONTINUE
+      WRITE(*,*) q(5,5), s(6,6)
+      END
+`,
+})
+
+// Flo88 is the transonic-flow wing-body analysis (Stanford CITS).
+var Flo88 = register(&Workload{
+	Name:        "flo88",
+	Suite:       "ch4",
+	Description: "Wing-body analysis solving transonic flow",
+	DataSet:     "46x46 mesh, 20 planes, 4 sweeps",
+	Source: `
+C     flo88: transonic flow analysis (scaled reproduction)
+      SUBROUTINE psmoo
+      COMMON /flow/ p(50,50), w(50,50)
+      COMMON /cfg/ il, ie, jl, kl
+      COMMON /tmparr/ d(50,50), t(50,50)
+      INTEGER i, j, k
+      DO 50 k = 2, kl
+        DO 20 j = 2, jl
+          d(1,j) = 0.0
+20      CONTINUE
+        DO 30 i = 2, il
+          DO 30 j = 2, jl
+            t(i,j) = d(i-1,j) * 0.25 + w(i,j)
+            d(i,j) = t(i,j) * 0.5
+30      CONTINUE
+        DO 40 j = 2, jl
+          DO 40 i = 2, ie
+            p(i,j) = p(i,j) + d(i-1,j) * 0.125
+40      CONTINUE
+50    CONTINUE
+      END
+
+      SUBROUTINE eflux
+      COMMON /flow/ p(50,50), w(50,50)
+      COMMON /cfg/ il, ie, jl, kl
+      COMMON /ewrk/ fs(50)
+      INTEGER i, j
+      DO 50 j = 2, jl
+        DO 30 i = 1, ie
+          fs(i) = p(i,j) + p(i,j-1)
+30      CONTINUE
+        DO 40 i = 2, il
+          w(i,j) = w(i,j) + fs(i) - fs(i-1)
+40      CONTINUE
+50    CONTINUE
+      END
+
+      SUBROUTINE dflux
+      COMMON /flow/ p(50,50), w(50,50)
+      COMMON /cfg/ il, ie, jl, kl
+      COMMON /dwrk/ df(50)
+      INTEGER i, j
+      DO 30 j = 2, jl
+        DO 20 i = 1, ie
+          df(i) = w(i,j) * 0.5
+20      CONTINUE
+        DO 25 i = 2, il
+          p(i,j) = p(i,j) * 0.97 + (df(i) + df(i-1)) * 0.015
+25      CONTINUE
+30    CONTINUE
+      END
+
+      PROGRAM flo88
+      COMMON /flow/ p(50,50), w(50,50)
+      COMMON /cfg/ il, ie, jl, kl
+      COMMON /init/ cfgv(8)
+      INTEGER i, j, sweep
+      cfgv(1) = 45.0
+      cfgv(2) = 46.0
+      cfgv(3) = 45.0
+      cfgv(4) = 20.0
+      il = INT(cfgv(1))
+      ie = INT(cfgv(2))
+      jl = INT(cfgv(3))
+      kl = INT(cfgv(4))
+      DO 5 i = 1, 50
+        DO 5 j = 1, 50
+          p(i,j) = MOD(i + j, 9) * 0.4
+          w(i,j) = MOD(i * j, 7) * 0.3
+5     CONTINUE
+      DO 100 sweep = 1, 4
+        CALL psmoo
+        CALL eflux
+        CALL dflux
+100   CONTINUE
+      WRITE(*,*) p(9,9), w(8,8)
+      END
+`,
+})
+
+func init() {
+	Mdg.UserAssertions = map[string]parallel.AssertSet{
+		"INTERF/1000": priv("RL"),
+	}
+	Hydro.UserAssertions = map[string]parallel.AssertSet{
+		"VSETUV/85":  priv("DKRC", "AIF3"),
+		"VQTERM/85":  priv("DQ"),
+		"VSETGC/200": priv("GC"),
+	}
+	Hydro.ConflictingDecomp = []string{"VSETUV/85", "VQTERM/85"}
+	Arc3d.UserAssertions = map[string]parallel.AssertSet{
+		"STEPF3D/701":  priv("SN"),
+		"STEPF3D2/702": priv("SM"),
+	}
+	Flo88.UserAssertions = map[string]parallel.AssertSet{
+		"PSMOO/50": priv("D", "T"),
+		"EFLUX/50": priv("FS"),
+		"DFLUX/30": priv("DF"),
+	}
+	Flo88.StreamingLoops = []string{"PSMOO/50"}
+}

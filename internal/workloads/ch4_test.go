@@ -1,0 +1,188 @@
+package workloads
+
+import (
+	"testing"
+
+	"suifx/internal/liveness"
+	"suifx/internal/parallel"
+	"suifx/internal/summary"
+)
+
+// analyze runs the ch4 configuration: reductions on, liveness off (the
+// Chapter 4 system predates the liveness analysis), with or without the
+// workload's user-assistance script.
+func analyzeCh4(t *testing.T, w *Workload, userAssisted bool) *parallel.Result {
+	t.Helper()
+	cfg := parallel.Config{UseReductions: true}
+	if userAssisted {
+		cfg.Assertions = w.Assertions()
+	}
+	return parallel.Parallelize(w.Fresh(), cfg)
+}
+
+func verdict(t *testing.T, res *parallel.Result, loopID string) *parallel.LoopInfo {
+	t.Helper()
+	li := res.LoopByID(loopID)
+	if li == nil {
+		t.Fatalf("no loop %s", loopID)
+	}
+	return li
+}
+
+func blockedOnlyBy(t *testing.T, li *parallel.LoopInfo, names ...string) {
+	t.Helper()
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	got := map[string]bool{}
+	for _, b := range li.Dep.Blocking {
+		got[b.Sym.Name] = true
+	}
+	for n := range want {
+		if !got[n] {
+			t.Errorf("%s: expected blocking var %s, got %v", li.ID(), n, li.Dep.Blocking)
+		}
+	}
+	for n := range got {
+		if !want[n] {
+			t.Errorf("%s: unexpected blocking var %s (blocking: %v)", li.ID(), n, li.Dep.Blocking)
+		}
+	}
+}
+
+func TestMdgStory(t *testing.T) {
+	auto := analyzeCh4(t, Mdg, false)
+	li := verdict(t, auto, "INTERF/1000")
+	if li.Dep.Parallelizable {
+		t.Fatal("interf/1000 must not parallelize automatically")
+	}
+	blockedOnlyBy(t, li, "RL")
+	// epot and fsum are recognized reductions; rs and kc privatize.
+	classes := map[string]string{}
+	for _, vr := range li.Dep.Vars {
+		classes[vr.Sym.Name] = vr.Class.String()
+	}
+	if classes["EPOT"] != "reduction" || classes["FSUM"] != "reduction" {
+		t.Fatalf("reductions not recognized: %v", classes)
+	}
+	if classes["RS"] != "private" || classes["KC"] != "private" {
+		t.Fatalf("privatization not recognized: %v", classes)
+	}
+	// With the user's assertion, the loop parallelizes.
+	user := analyzeCh4(t, Mdg, true)
+	li2 := verdict(t, user, "INTERF/1000")
+	if !li2.Dep.Parallelizable || !li2.Chosen {
+		t.Fatalf("asserted interf/1000 should be the chosen parallel loop: %v", li2.Dep.Blocking)
+	}
+	// The step loop stays sequential (forces feed the next step).
+	if verdict(t, user, "MDG/2000").Dep.Parallelizable {
+		t.Fatal("the time-step loop must stay sequential")
+	}
+}
+
+func TestHydroStory(t *testing.T) {
+	auto := analyzeCh4(t, Hydro, false)
+	// vsetuv/85: blocked by dkrc (exposed first element) and aif3
+	// (loop-variant private range, Fig 5-1) without liveness.
+	li := verdict(t, auto, "VSETUV/85")
+	if li.Dep.Parallelizable {
+		t.Fatal("vsetuv/85 must not parallelize without liveness or assertions")
+	}
+	blockedOnlyBy(t, li, "DKRC", "AIF3")
+	// vh2200/1000 parallelizes automatically via the etot reduction.
+	if !verdict(t, auto, "VH2200/1000").Dep.Parallelizable {
+		t.Fatal("vh2200/1000 should parallelize via reduction")
+	}
+	// update/1000 parallelizes automatically (tmp privatizes: identical
+	// region every iteration).
+	if !verdict(t, auto, "UPDATE/1000").Dep.Parallelizable {
+		t.Fatalf("update/1000 should parallelize automatically: %v",
+			verdict(t, auto, "UPDATE/1000").Dep.Blocking)
+	}
+	// With user assertions everything important parallelizes.
+	user := analyzeCh4(t, Hydro, true)
+	for _, id := range []string{"VSETUV/85", "VQTERM/85", "VSETGC/200"} {
+		if !verdict(t, user, id).Dep.Parallelizable {
+			t.Fatalf("%s should parallelize with assertions: %v", id, verdict(t, user, id).Dep.Blocking)
+		}
+	}
+}
+
+func TestHydroLivenessResolvesAif3(t *testing.T) {
+	// The Chapter 5 system: liveness privatizes aif3 (dead at loop exit)
+	// without any assertion; dkrc(1)'s exposed read still needs the user.
+	prog := Hydro.Fresh()
+	sum := summary.Analyze(prog)
+	live := liveness.Analyze(sum, liveness.Full)
+	res := parallel.ParallelizeWith(sum, parallel.Config{
+		UseReductions: true,
+		DeadAtExit:    live.Oracle(),
+	})
+	li := verdict(t, res, "VSETUV/85")
+	blockedOnlyBy(t, li, "DKRC")
+	// vqterm/85's dq is fully resolved by liveness.
+	if !verdict(t, res, "VQTERM/85").Dep.Parallelizable {
+		t.Fatalf("vqterm/85 should parallelize with liveness: %v",
+			verdict(t, res, "VQTERM/85").Dep.Blocking)
+	}
+}
+
+func TestArc3dStory(t *testing.T) {
+	auto := analyzeCh4(t, Arc3d, false)
+	li := verdict(t, auto, "STEPF3D/701")
+	if li.Dep.Parallelizable {
+		t.Fatal("stepf3d/701 must be blocked by sn")
+	}
+	blockedOnlyBy(t, li, "SN")
+	if !verdict(t, auto, "FILTER3D/701").Dep.Parallelizable {
+		t.Fatalf("filter3d/701 should parallelize automatically: %v",
+			verdict(t, auto, "FILTER3D/701").Dep.Blocking)
+	}
+	user := analyzeCh4(t, Arc3d, true)
+	for _, id := range []string{"STEPF3D/701", "STEPF3D2/702"} {
+		if !verdict(t, user, id).Dep.Parallelizable {
+			t.Fatalf("%s should parallelize with assertions", id)
+		}
+	}
+}
+
+func TestFlo88Story(t *testing.T) {
+	auto := analyzeCh4(t, Flo88, false)
+	// psmoo/50: d's coverage depends on the input relationship ie = il+1
+	// that only the user knows (§4.4.1).
+	li := verdict(t, auto, "PSMOO/50")
+	if li.Dep.Parallelizable {
+		t.Fatal("psmoo/50 must not parallelize automatically")
+	}
+	found := false
+	for _, b := range li.Dep.Blocking {
+		if b.Sym.Name == "D" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("psmoo/50 should be blocked by d: %v", li.Dep.Blocking)
+	}
+	user := analyzeCh4(t, Flo88, true)
+	for _, id := range []string{"PSMOO/50", "EFLUX/50", "DFLUX/30"} {
+		if !verdict(t, user, id).Dep.Parallelizable {
+			t.Fatalf("%s should parallelize with assertions: %v", id, verdict(t, user, id).Dep.Blocking)
+		}
+	}
+}
+
+func TestWorkloadsExecute(t *testing.T) {
+	for _, w := range Suite("ch4") {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			in := newInterp(t, w)
+			if err := in.Run(); err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			if in.Ops() < 10000 {
+				t.Fatalf("%s: suspiciously small run (%d ops)", w.Name, in.Ops())
+			}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+package workloads
+
+// The two additional Chapter 5 liveness-suite programs. wave5 has many
+// small loops with liveness-privatizable temporaries whose parallelization
+// the runtime suppresses (Fig 5-8's wave5 row); hydro2d carries the /varh/
+// common block whose two layouts (vz and vz1) have disjoint live ranges —
+// the Fig 5-9 live-range-splitting example.
+
+// Wave5 models Maxwell's equations with particles (SPEC95).
+var Wave5 = register(&Workload{
+	Name:        "wave5",
+	Suite:       "ch5",
+	Description: "Maxwell's equations and particle equations of motion",
+	DataSet:     "30x30 field, 2 steps",
+	Source: `
+C     wave5: field/particle solver (scaled reproduction)
+      SUBROUTINE fieldx
+      COMMON /fld/ ex(32,32), ey(32,32)
+      COMMON /fwrk/ buf(32)
+      COMMON /dims/ nx, ny
+      INTEGER i, j
+      DO 40 j = 2, ny
+        DO 20 i = j, nx
+          buf(i) = ex(i,j) * 0.5 + ey(i,j-1) * 0.5
+20      CONTINUE
+        DO 30 i = j + 1, nx
+          ex(i,j) = buf(i) - buf(i-1)
+30      CONTINUE
+40    CONTINUE
+      END
+
+      SUBROUTINE fieldy
+      COMMON /fld/ ex(32,32), ey(32,32)
+      COMMON /fwrk2/ buf2(32)
+      COMMON /dims/ nx, ny
+      INTEGER i, j
+      DO 40 j = 2, ny
+        DO 20 i = j, nx
+          buf2(i) = ey(i,j) * 0.3 + ex(i,j) * 0.7
+20      CONTINUE
+        DO 30 i = j + 1, nx
+          ey(i,j) = buf2(i) + buf2(i-1) * 0.1
+30      CONTINUE
+40    CONTINUE
+      END
+
+      SUBROUTINE smooth
+      COMMON /fld/ ex(32,32), ey(32,32)
+      COMMON /dims/ nx, ny
+      INTEGER i, j
+      DO 60 j = 2, ny
+        DO 50 i = 2, nx
+          ex(i,j) = ex(i,j) * 0.99 + 0.01
+50      CONTINUE
+60    CONTINUE
+      END
+
+      PROGRAM wave5
+      COMMON /fld/ ex(32,32), ey(32,32)
+      COMMON /dims/ nx, ny
+      INTEGER step, i, j
+      nx = 30
+      ny = 30
+      DO 5 j = 1, 32
+        DO 5 i = 1, 32
+          ex(i,j) = MOD(i + j, 5) * 0.2
+          ey(i,j) = MOD(i * j, 7) * 0.1
+5     CONTINUE
+      DO 100 step = 1, 2
+        CALL fieldx
+        CALL fieldy
+        CALL smooth
+100   CONTINUE
+      WRITE(*,*) ex(4,4), ey(6,6)
+      END
+`,
+})
+
+// Hydro2d is the astrophysical Navier-Stokes program (SPEC92) with the
+// /varh/ live-range-splitting pattern of Fig 5-9.
+var Hydro2d = register(&Workload{
+	Name:              "hydro2d",
+	Suite:             "ch5",
+	Description:       "Astrophysical program using Navier Stokes equations",
+	DataSet:           "80x80 mesh, 4 steps",
+	ConflictingDecomp: nil, // set after the split analysis (Fig 5-10)
+	Source: `
+C     hydro2d: Navier-Stokes (scaled reproduction) with the /varh/ aliasing
+      SUBROUTINE tistep
+      COMMON /varh/ vz(80,80)
+      COMMON /st/ ro(80,80), dt
+      INTEGER i, j
+      dt = 0.0
+      DO 10 j = 1, 80
+        DO 10 i = 1, 80
+          dt = dt + vz(i,j) * 0.0001
+10    CONTINUE
+      END
+
+      SUBROUTINE trans2
+      COMMON /varh/ vz1(0:80,79)
+      COMMON /st/ ro(80,80), dt
+      INTEGER i, j
+      DO 10 j = 1, 79
+        DO 10 i = 0, 79
+          vz1(i,j) = ro(i+1,j) * 0.5 + dt
+10    CONTINUE
+      END
+
+      SUBROUTINE fct
+      COMMON /varh/ vz1(0:80,79)
+      COMMON /st/ ro(80,80), dt
+      INTEGER i, j
+      DO 10 j = 2, 79
+        DO 10 i = 1, 79
+          ro(i,j) = ro(i,j) * 0.9 + (vz1(i,j) + vz1(i-1,j)) * 0.05
+10    CONTINUE
+      END
+
+      SUBROUTINE advnce
+      CALL trans2
+      CALL fct
+      END
+
+      SUBROUTINE vps
+      COMMON /varh/ vz(80,80)
+      COMMON /st/ ro(80,80), dt
+      INTEGER i, j
+      DO 10 j = 1, 80
+        DO 10 i = 1, 80
+          vz(i,j) = ro(MOD(i,79)+1, MOD(j,79)+1) + dt
+10    CONTINUE
+      END
+
+      SUBROUTINE check
+      CALL vps
+      END
+
+      PROGRAM hydro2d
+      COMMON /varh/ vz(80,80)
+      COMMON /st/ ro(80,80), dt
+      INTEGER icnt, i, j
+      DO 5 j = 1, 80
+        DO 5 i = 1, 80
+          ro(i,j) = MOD(i * 3 + j, 11) * 0.3
+          vz(i,j) = 1.0
+5     CONTINUE
+      DO 100 icnt = 1, 4
+        CALL tistep
+        CALL advnce
+        CALL check
+100   CONTINUE
+      WRITE(*,*) ro(5,5), dt
+      END
+`,
+})

@@ -1,0 +1,51 @@
+package workloads
+
+import (
+	"testing"
+
+	"suifx/internal/liveness"
+	"suifx/internal/parallel"
+	"suifx/internal/summary"
+)
+
+func TestWave5LivenessStory(t *testing.T) {
+	// Without array liveness the buf loops stay sequential; with it they
+	// parallelize (Fig 5-8's wave5 row).
+	base := parallel.Parallelize(Wave5.Fresh(), parallel.Config{UseReductions: true})
+	for _, id := range []string{"FIELDX/40", "FIELDY/40"} {
+		if verdict(t, base, id).Dep.Parallelizable {
+			t.Fatalf("%s should need liveness", id)
+		}
+	}
+	prog := Wave5.Fresh()
+	sum := summary.Analyze(prog)
+	live := liveness.Analyze(sum, liveness.Full)
+	withLive := parallel.ParallelizeWith(sum, parallel.Config{UseReductions: true, DeadAtExit: live.Oracle()})
+	for _, id := range []string{"FIELDX/40", "FIELDY/40"} {
+		if !verdict(t, withLive, id).Dep.Parallelizable {
+			t.Fatalf("%s should parallelize with liveness: %v", id, verdict(t, withLive, id).Dep.Blocking)
+		}
+	}
+}
+
+func TestHydro2dSplitStory(t *testing.T) {
+	prog := Hydro2d.Fresh()
+	sum := summary.Analyze(prog)
+	full := liveness.Analyze(sum, liveness.Full)
+	splits := full.CommonBlockSplits()
+	if len(splits) != 1 || splits[0].Block != "VARH" {
+		t.Fatalf("expected the /varh/ split, got %v", splits)
+	}
+	if got := liveness.Analyze(sum, liveness.OneBit).CommonBlockSplits(); len(got) != 0 {
+		t.Fatalf("1-bit variant must not find the split: %v", got)
+	}
+}
+
+func TestCh5WorkloadsExecute(t *testing.T) {
+	for _, w := range Suite("ch5") {
+		in := newInterp(t, w)
+		if err := in.Run(); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+	}
+}

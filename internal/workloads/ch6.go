@@ -1,0 +1,293 @@
+package workloads
+
+// The Chapter 6 reduction suite: twelve kernels in the style of the SPEC92,
+// NAS Parallel and Perfect Club programs on which the paper reports parallel
+// reductions have an impact (Figs 6-3..6-7). Each kernel's dominant loop
+// carries a cross-iteration dependence that only reduction recognition
+// resolves; together they exercise every reduction shape of §6.1: scalar
+// sums and products, MIN/MAX, regular array-region reductions,
+// interprocedural reductions, and sparse reductions through index arrays.
+
+func kernel(name, suite, desc, src string) *Workload {
+	return register(&Workload{Name: name, Suite: suite, Description: desc, DataSet: "synthetic", Source: src})
+}
+
+// --- SPEC92-style ---
+
+// Su2cor: regular array-region reduction (gauge field sums).
+var Su2cor = kernel("su2cor", "spec92", "Quark-gluon propagator (array-region reductions)", `
+      PROGRAM su2cor
+      REAL corr(8), field(64,64)
+      INTEGER i, j, k, it
+      DO 5 i = 1, 64
+        DO 5 j = 1, 64
+          field(i,j) = MOD(i * j, 17) * 0.1
+5     CONTINUE
+      DO 100 it = 1, 3
+        DO 50 i = 1, 64
+          DO 40 j = 1, 64
+            DO 30 k = 1, 8
+              corr(k) = corr(k) + field(i,j) * k * 0.001
+30          CONTINUE
+40        CONTINUE
+50      CONTINUE
+100   CONTINUE
+      WRITE(*,*) corr(1), corr(8)
+      END
+`)
+
+// Nasa7: MIN and MAX reductions over matrix kernels.
+var Nasa7 = kernel("nasa7", "spec92", "Kernel suite (MIN/MAX reductions)", `
+      PROGRAM nasa7
+      REAL a(96,96), vmin, vmax
+      INTEGER i, j, it
+      DO 5 i = 1, 96
+        DO 5 j = 1, 96
+          a(i,j) = MOD(i * 7 + j * 3, 101) * 1.0
+5     CONTINUE
+      vmin = 1E30
+      vmax = -1E30
+      DO 100 it = 1, 4
+        DO 50 i = 1, 96
+          DO 40 j = 1, 96
+            IF (a(i,j) .LT. vmin) vmin = a(i,j)
+            vmax = MAX(vmax, a(i,j) * 0.5 + it)
+40        CONTINUE
+50      CONTINUE
+100   CONTINUE
+      WRITE(*,*) vmin, vmax
+      END
+`)
+
+// Ora: scalar sum and product reductions (ray tracing through optics).
+var Ora = kernel("ora", "spec92", "Optical ray tracing (scalar sum and product)", `
+      PROGRAM ora
+      REAL sum, prod, x
+      INTEGER i, it
+      sum = 0.0
+      prod = 1.0
+      DO 100 it = 1, 5
+        DO 50 i = 1, 3000
+          x = MOD(i * 31 + it, 97) * 0.01 + 0.5
+          sum = sum + x * x
+          prod = prod * (1.0 + x * 0.0001)
+50      CONTINUE
+100   CONTINUE
+      WRITE(*,*) sum, prod
+      END
+`)
+
+// Mdljdp2: sparse force accumulation through a neighbor index array.
+var Mdljdp2 = kernel("mdljdp2", "spec92", "Molecular dynamics (sparse reductions)", `
+      PROGRAM mdljdp2
+      REAL f(500), x(500)
+      INTEGER nbr(2000), i, it
+      DO 5 i = 1, 500
+        x(i) = MOD(i * 13, 89) * 0.1
+5     CONTINUE
+      DO 6 i = 1, 2000
+        nbr(i) = MOD(i * 37, 500) + 1
+6     CONTINUE
+      DO 100 it = 1, 4
+        DO 50 i = 1, 2000
+          f(nbr(i)) = f(nbr(i)) + x(MOD(i,500)+1) * 0.001
+50      CONTINUE
+100   CONTINUE
+      WRITE(*,*) f(1), f(250)
+      END
+`)
+
+// --- NAS-style ---
+
+// Appbt: block-tridiagonal RHS norms (scalar + array reductions).
+var Appbt = kernel("appbt", "nas", "Block tridiagonal solver (norm reductions)", `
+      SUBROUTINE addnorm(rms, v)
+      REAL rms, v
+      rms = rms + v * v
+      END
+      PROGRAM appbt
+      REAL u(64,64), rms
+      INTEGER i, j, it
+      DO 5 i = 1, 64
+        DO 5 j = 1, 64
+          u(i,j) = MOD(i + j * 5, 23) * 0.2
+5     CONTINUE
+      rms = 0.0
+      DO 100 it = 1, 4
+        DO 50 i = 2, 63
+          DO 40 j = 2, 63
+            CALL addnorm(rms, u(i,j) - u(i-1,j) * 0.25)
+40        CONTINUE
+50      CONTINUE
+100   CONTINUE
+      WRITE(*,*) rms
+      END
+`)
+
+// Applu: lower-upper solver residual sums.
+var Applu = kernel("applu", "nas", "LU solver (residual reductions)", `
+      PROGRAM applu
+      REAL rsd(5), v(64,64)
+      INTEGER i, j, m, it
+      DO 5 i = 1, 64
+        DO 5 j = 1, 64
+          v(i,j) = MOD(i * 3 + j, 19) * 0.15
+5     CONTINUE
+      DO 100 it = 1, 4
+        DO 50 i = 2, 63
+          DO 40 j = 2, 63
+            DO 30 m = 1, 5
+              rsd(m) = rsd(m) + v(i,j) * m * 0.0001
+30          CONTINUE
+40        CONTINUE
+50      CONTINUE
+100   CONTINUE
+      WRITE(*,*) rsd(1), rsd(5)
+      END
+`)
+
+// Appsp: scalar pentadiagonal solver with interprocedural reductions.
+var Appsp = kernel("appsp", "nas", "Scalar pentadiagonal solver (interprocedural reduction)", `
+      SUBROUTINE accum(s, a, n)
+      REAL s, a(64)
+      INTEGER i, n
+      DO 10 i = 1, n
+        s = s + a(i) * 0.01
+10    CONTINUE
+      END
+      PROGRAM appsp
+      REAL rows(64,64), total
+      INTEGER i, j, it
+      DO 5 i = 1, 64
+        DO 5 j = 1, 64
+          rows(j,i) = MOD(i * j, 29) * 0.1
+5     CONTINUE
+      total = 0.0
+      DO 100 it = 1, 6
+        DO 50 i = 1, 64
+          CALL accum(total, rows(1,i), 64)
+50      CONTINUE
+100   CONTINUE
+      WRITE(*,*) total
+      END
+`)
+
+// Cgm: conjugate-gradient sparse matrix-vector with dot-product reduction.
+var Cgm = kernel("cgm", "nas", "Conjugate gradient (sparse dot products)", `
+      PROGRAM cgm
+      REAL aval(3000), x(400), y(400), dot
+      INTEGER col(3000), rowlo(400), rowhi(400), i, k, it
+      DO 5 i = 1, 400
+        x(i) = MOD(i, 7) * 0.3
+        rowlo(i) = (i-1) * 7 + 1
+        rowhi(i) = i * 7
+5     CONTINUE
+      DO 6 k = 1, 3000
+        aval(k) = MOD(k, 13) * 0.05
+        col(k) = MOD(k * 11, 400) + 1
+6     CONTINUE
+      DO 100 it = 1, 3
+        DO 50 i = 1, 400
+          y(i) = 0.0
+          DO 40 k = rowlo(i), rowhi(i)
+            y(i) = y(i) + aval(k) * x(col(k))
+40        CONTINUE
+50      CONTINUE
+        dot = 0.0
+        DO 60 i = 1, 400
+          dot = dot + x(i) * y(i)
+60      CONTINUE
+100   CONTINUE
+      WRITE(*,*) dot
+      END
+`)
+
+// Embar: the embarrassingly-parallel benchmark's Gaussian tally — a
+// histogram (sparse array reduction).
+var Embar = kernel("embar", "nas", "Embarrassingly parallel (histogram reduction)", `
+      PROGRAM embar
+      REAL q(10), x
+      INTEGER i, bin, it
+      DO 100 it = 1, 4
+        DO 50 i = 1, 4000
+          x = MOD(i * 17 + it * 29, 1000) * 0.001
+          bin = INT(x * 10.0) + 1
+          q(bin) = q(bin) + 1.0
+50      CONTINUE
+100   CONTINUE
+      WRITE(*,*) q(1), q(10)
+      END
+`)
+
+// Mgrid: multigrid smoother with an L2-norm reduction.
+var Mgrid = kernel("mgrid", "nas", "Multigrid (norm reduction)", `
+      PROGRAM mgrid
+      REAL u(66,66), r(66,66), norm
+      INTEGER i, j, it
+      DO 5 i = 1, 66
+        DO 5 j = 1, 66
+          u(i,j) = MOD(i * j + 3, 31) * 0.1
+5     CONTINUE
+      DO 100 it = 1, 3
+        DO 40 j = 2, 65
+          DO 40 i = 2, 65
+            r(i,j) = u(i-1,j) + u(i+1,j) + u(i,j-1) + u(i,j+1) - 4.0 * u(i,j)
+40      CONTINUE
+        norm = 0.0
+        DO 60 j = 2, 65
+          DO 60 i = 2, 65
+            norm = norm + r(i,j) * r(i,j)
+60      CONTINUE
+100   CONTINUE
+      WRITE(*,*) norm
+      END
+`)
+
+// --- Perfect Club-style ---
+
+// Bdna: the §6.3.3/§6.3.5 patterns — a bounded reduction region FAX(1:n)
+// plus indirect FOX updates through an index array.
+var Bdna = kernel("bdna", "perfect", "Nucleic acid simulation (bounded + indirect reductions)", `
+      PROGRAM bdna
+      REAL fax(2000), fox(2000), foxp(600)
+      INTEGER ind(600), i, ia, natoms, nsp, it
+      natoms = 120
+      nsp = 8
+      DO 5 i = 1, 600
+        ind(i) = MOD(i * 41, 300) + 1
+        foxp(i) = MOD(i, 9) * 0.2
+5     CONTINUE
+      DO 100 it = 1, 3
+        DO 50 i = 1, nsp
+          DO 40 ia = 1, natoms
+            fax(ia) = fax(ia) + ia * 0.001 + i * 0.0001
+40        CONTINUE
+50      CONTINUE
+        DO 70 i = 1, 600
+          fox(ind(i)) = fox(ind(i)) + foxp(i)
+70      CONTINUE
+100   CONTINUE
+      WRITE(*,*) fax(1), fox(7)
+      END
+`)
+
+// Trfd: two-electron integral transformation with triangular sums.
+var Trfd = kernel("trfd", "perfect", "Integral transformation (triangular reductions)", `
+      PROGRAM trfd
+      REAL xij(80), v(80,80), s
+      INTEGER i, j, it
+      DO 5 i = 1, 80
+        DO 5 j = 1, 80
+          v(i,j) = MOD(i * 5 + j * 2, 37) * 0.1
+5     CONTINUE
+      DO 100 it = 1, 4
+        DO 50 i = 1, 80
+          DO 40 j = 1, i
+            xij(i) = xij(i) + v(i,j) * 0.01
+            s = s + v(j,i) * 0.001
+40        CONTINUE
+50      CONTINUE
+100   CONTINUE
+      WRITE(*,*) xij(40), s
+      END
+`)

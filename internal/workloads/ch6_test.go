@@ -1,0 +1,88 @@
+package workloads
+
+import (
+	"testing"
+
+	"suifx/internal/parallel"
+	"suifx/internal/summary"
+)
+
+// keyLoops maps each Chapter 6 kernel to the dominant loop that needs the
+// reduction transformation.
+var keyLoops = map[string]string{
+	"su2cor":  "SU2COR/50",
+	"nasa7":   "NASA7/50",
+	"ora":     "ORA/50",
+	"mdljdp2": "MDLJDP2/50",
+	"appbt":   "APPBT/50",
+	"applu":   "APPLU/50",
+	"appsp":   "APPSP/50",
+	"cgm":     "CGM/60",
+	"embar":   "EMBAR/50",
+	"mgrid":   "MGRID/60",
+	"bdna":    "BDNA/70",
+	"trfd":    "TRFD/50",
+}
+
+func ch6Workloads() []*Workload {
+	var out []*Workload
+	for _, s := range []string{"nas", "perfect", "spec92"} {
+		out = append(out, Suite(s)...)
+	}
+	return out
+}
+
+func TestReductionImpact(t *testing.T) {
+	for _, w := range ch6Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			id := keyLoops[w.Name]
+			if id == "" {
+				t.Fatalf("no key loop registered for %s", w.Name)
+			}
+			without := parallel.Parallelize(w.Fresh(), parallel.Config{UseReductions: false})
+			li := without.LoopByID(id)
+			if li == nil {
+				t.Fatalf("no loop %s", id)
+			}
+			if li.Dep.Parallelizable {
+				t.Fatalf("%s should be blocked without reduction recognition", id)
+			}
+			with := parallel.Parallelize(w.Fresh(), parallel.Config{UseReductions: true})
+			li2 := with.LoopByID(id)
+			if !li2.Dep.Parallelizable {
+				t.Fatalf("%s should parallelize with reductions: %v", id, li2.Dep.Blocking)
+			}
+			if !li2.Dep.NeedsReduction {
+				t.Fatalf("%s should require the reduction transformation", id)
+			}
+		})
+	}
+}
+
+func TestCh6WorkloadsExecute(t *testing.T) {
+	for _, w := range ch6Workloads() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			in := newInterp(t, w)
+			if err := in.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReductionCensus(t *testing.T) {
+	// Fig 6-2 style: the SPEC92-suite census covers all four operators.
+	counts := map[string]int{}
+	for _, w := range Suite("spec92") {
+		for k, n := range summary.CountReductionStatements(w.Program()) {
+			counts[k] += n
+		}
+	}
+	for _, want := range []string{"+ scalar", "+ array", "* scalar", "MIN scalar", "MAX scalar"} {
+		if counts[want] == 0 {
+			t.Errorf("census missing %q: %v", want, counts)
+		}
+	}
+}

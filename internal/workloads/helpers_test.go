@@ -1,0 +1,12 @@
+package workloads
+
+import (
+	"testing"
+
+	"suifx/internal/exec"
+)
+
+func newInterp(t *testing.T, w *Workload) *exec.Interp {
+	t.Helper()
+	return exec.New(w.Fresh())
+}
