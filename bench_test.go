@@ -6,10 +6,14 @@
 package suifx_test
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
+	"suifx/internal/driver"
 	"suifx/internal/exec"
 	"suifx/internal/experiments"
 	"suifx/internal/ir"
@@ -32,11 +36,16 @@ func benchTable(b *testing.B, gen func() *experiments.Table) *experiments.Table 
 }
 
 func metric(b *testing.B, t *experiments.Table, row, col int, name string) {
+	b.Helper()
 	s := t.Rows[row][col]
 	s = strings.TrimSuffix(strings.TrimSuffix(s, " ms"), "%")
-	if v, err := strconv.ParseFloat(s, 64); err == nil {
-		b.ReportMetric(v, name)
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		// A silently-skipped metric would let a renamed column or reshaped
+		// table rot the benchmark record without anyone noticing.
+		b.Fatalf("metric %s: cell [%d][%d] of %s = %q is not numeric: %v", name, row, col, t.ID, s, err)
 	}
+	b.ReportMetric(v, name)
 }
 
 // ---- Chapter 4 ----
@@ -109,6 +118,99 @@ func BenchmarkAnalyzeHydro(b *testing.B) {
 		sum := summary.Analyze(w.Fresh())
 		liveness.Analyze(sum, liveness.Full)
 	}
+}
+
+// seqBaseline measures the per-run cost of fn outside the benchmark timer,
+// for speedup-vs-sequential metrics.
+func seqBaseline(fn func()) time.Duration {
+	const reps = 3
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return time.Since(start) / reps
+}
+
+// reportSpeedup attaches the speedup of the timed loop over the sequential
+// baseline. On a single-CPU runner this hovers around 1.0; the ≥1.5×
+// targets apply to multi-core runners.
+func reportSpeedup(b *testing.B, seq time.Duration) {
+	b.Helper()
+	par := float64(b.Elapsed()) / float64(b.N)
+	if par > 0 {
+		b.ReportMetric(float64(seq)/par, "speedup_vs_sequential")
+	}
+}
+
+// BenchmarkAnalyzeHydroParallel measures the concurrent driver against the
+// sequential analyzer on the deepest single call graph (intra-program SCC
+// parallelism).
+func BenchmarkAnalyzeHydroParallel(b *testing.B) {
+	w := workloads.ByName("hydro")
+	seq := seqBaseline(func() {
+		sum := summary.Analyze(w.Fresh())
+		liveness.Analyze(sum, liveness.Full)
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := driver.Analyze(w.Fresh(), driver.Options{})
+		liveness.Analyze(sum, liveness.Full)
+	}
+	b.StopTimer()
+	reportSpeedup(b, seq)
+}
+
+// BenchmarkAnalyzeSuiteParallel measures cross-workload fan-out: all
+// benchmark applications analyzed at once on a bounded pool, the way the
+// experiment driver regenerates tables, vs one-at-a-time sequentially.
+func BenchmarkAnalyzeSuiteParallel(b *testing.B) {
+	ws := workloads.All()
+	seq := seqBaseline(func() {
+		for _, w := range ws {
+			summary.Analyze(w.Fresh())
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for _, w := range ws {
+			wg.Add(1)
+			go func(w *workloads.Workload) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				driver.Analyze(w.Fresh(), driver.Options{})
+			}(w)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	reportSpeedup(b, seq)
+}
+
+// BenchmarkAnalyzeSuiteCached measures the summary cache: repeated requests
+// for already-analyzed workloads (the table-regeneration hot path) against
+// re-deriving every analysis from source.
+func BenchmarkAnalyzeSuiteCached(b *testing.B) {
+	ws := workloads.All()
+	seq := seqBaseline(func() {
+		for _, w := range ws {
+			summary.Analyze(w.Fresh())
+		}
+	})
+	cache := driver.NewCache()
+	for _, w := range ws { // warm
+		cache.MustAnalyze(w.Name, w.Source, driver.Options{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range ws {
+			cache.MustAnalyze(w.Name, w.Source, driver.Options{})
+		}
+	}
+	b.StopTimer()
+	reportSpeedup(b, seq)
 }
 
 // BenchmarkInterpretMdg measures the interpreter on a profiled workload.

@@ -1,6 +1,8 @@
 // Command paperfigs regenerates the paper's evaluation tables and figures
 // from this reproduction. With no arguments it prints every table; pass
-// figure IDs (e.g. "4-1 5-12 6-6") to print a subset.
+// figure IDs (e.g. "4-1 5-12 6-6") to print a subset. Generation fans out
+// across GOMAXPROCS goroutines — workload analyses are shared through the
+// driver cache — and output order always matches request order.
 package main
 
 import (
@@ -10,30 +12,17 @@ import (
 	"suifx/internal/experiments"
 )
 
-var generators = map[string]func() *experiments.Table{
-	"4-1": experiments.Fig4_1, "4-7": experiments.Fig4_7, "4-8": experiments.Fig4_8,
-	"4-9": experiments.Fig4_9, "4-10": experiments.Fig4_10,
-	"5-5": experiments.Fig5_5, "5-6": experiments.Fig5_6, "5-7": experiments.Fig5_7,
-	"5-8": experiments.Fig5_8, "5-10": experiments.Fig5_10, "5-12": experiments.Fig5_12,
-	"6-1": experiments.Fig6_1, "6-2": experiments.Fig6_2, "6-3": experiments.Fig6_3,
-	"6-4": experiments.Fig6_4, "6-5": experiments.Fig6_5, "6-6": experiments.Fig6_6,
-	"6-7": experiments.Fig6_7,
-}
-
 func main() {
-	args := os.Args[1:]
-	if len(args) == 0 {
-		for _, t := range experiments.AllTables() {
-			fmt.Println(t)
-		}
-		return
+	ids := os.Args[1:]
+	if len(ids) == 0 {
+		ids = experiments.TableIDs()
 	}
-	for _, id := range args {
-		gen, ok := generators[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "paperfigs: unknown figure %q\n", id)
-			os.Exit(1)
-		}
-		fmt.Println(gen())
+	tables, err := experiments.Generate(ids)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paperfigs: %v\n", err)
+		os.Exit(1)
+	}
+	for _, t := range tables {
+		fmt.Println(t)
 	}
 }

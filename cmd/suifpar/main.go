@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	suifpar [-noreductions] [-liveness] file.f
+//	suifpar [-noreductions] [-liveness] [-workers n] file.f
 //	suifpar -workload mdg
 package main
 
@@ -13,10 +13,10 @@ import (
 	"fmt"
 	"os"
 
+	"suifx/internal/driver"
 	"suifx/internal/liveness"
 	"suifx/internal/minif"
 	"suifx/internal/parallel"
-	"suifx/internal/summary"
 	"suifx/internal/workloads"
 )
 
@@ -24,6 +24,7 @@ func main() {
 	noRed := flag.Bool("noreductions", false, "disable reduction recognition")
 	useLive := flag.Bool("liveness", false, "enable the Chapter 5 array liveness analysis")
 	wl := flag.String("workload", "", "analyze a built-in workload instead of a file")
+	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var name, src string
@@ -46,7 +47,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sum := summary.Analyze(prog)
+	sum := driver.Analyze(prog, driver.Options{Workers: *workers})
 	cfg := parallel.Config{UseReductions: !*noRed}
 	if *useLive {
 		cfg.DeadAtExit = liveness.Analyze(sum, liveness.Full).Oracle()

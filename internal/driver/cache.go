@@ -1,0 +1,156 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"suifx/internal/ir"
+	"suifx/internal/minif"
+	"suifx/internal/summary"
+)
+
+// Result is a memoized whole-program analysis: the parsed program, its
+// summary analysis, and the content hashes that key it. Results are shared
+// between callers, which is safe because every consumer of an Analysis
+// (dependence testing, parallelization, liveness, the explorer's read
+// paths) treats it as read-only.
+type Result struct {
+	Prog *ir.Program
+	Sum  *summary.Analysis
+	// SourceHash is the cache key: sha256 over the program name and source.
+	SourceHash string
+	// ProcHashes gives each procedure a Merkle-style hash over its own
+	// source span and the hashes of its callees, so a future incremental
+	// mode can reuse per-procedure summaries when only unrelated
+	// procedures change.
+	ProcHashes map[string]string
+}
+
+// Cache memoizes analysis results by source content hash. Concurrent
+// callers asking for the same program share one analysis run (singleflight
+// per entry via sync.Once).
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string]*cacheEntry{}}
+}
+
+var shared = NewCache()
+
+// Shared returns the process-wide cache used by the experiment drivers and
+// commands, so repeated table regenerations reuse summaries instead of
+// re-deriving them.
+func Shared() *Cache { return shared }
+
+// Key returns the cache key for a named source text.
+func Key(name, src string) string {
+	h := sha256.New()
+	h.Write([]byte(name))
+	h.Write([]byte{0})
+	h.Write([]byte(src))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Analyze parses and analyzes the named source, memoizing by content hash:
+// the second request for identical source returns the first run's Result
+// without re-parsing or re-analyzing.
+func (c *Cache) Analyze(name, src string, opt Options) (*Result, error) {
+	key := Key(name, src)
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		prog, err := minif.Parse(name, src)
+		if err != nil {
+			e.err = fmt.Errorf("driver: parse %s: %w", name, err)
+			return
+		}
+		e.res = &Result{
+			Prog:       prog,
+			Sum:        Analyze(prog, opt),
+			SourceHash: key,
+			ProcHashes: procHashes(prog, src),
+		}
+	})
+	return e.res, e.err
+}
+
+// MustAnalyze is Analyze for known-good workload sources.
+func (c *Cache) MustAnalyze(name, src string, opt Options) *Result {
+	res, err := c.Analyze(name, src, opt)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// Stats reports cache hits and misses since creation.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Reset drops all entries (test hook).
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.entries = map[string]*cacheEntry{}
+	c.mu.Unlock()
+}
+
+// procHashes computes the per-procedure Merkle hashes: each procedure's
+// hash covers its own source span plus the hashes of everything it calls,
+// bottom-up, so a hash match certifies the procedure's entire analysis
+// cone is unchanged.
+func procHashes(prog *ir.Program, src string) map[string]string {
+	lines := strings.Split(src, "\n")
+	span := func(p *ir.Proc) string {
+		lo, hi := p.Pos.Line, p.EndLine
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > len(lines) {
+			hi = len(lines)
+		}
+		if lo > hi {
+			return ""
+		}
+		return strings.Join(lines[lo-1:hi], "\n")
+	}
+	g := prog.CallGraph()
+	out := make(map[string]string, len(prog.Procs))
+	for _, p := range bottomUpProcs(prog) {
+		h := sha256.New()
+		h.Write([]byte(p.Name))
+		h.Write([]byte{0})
+		h.Write([]byte(span(p)))
+		for _, callee := range g[p.Name] {
+			h.Write([]byte{0})
+			h.Write([]byte(out[callee])) // "" for recursive edges
+		}
+		out[p.Name] = hex.EncodeToString(h.Sum(nil))
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package driver
+
+import (
+	"runtime"
+
+	"suifx/internal/ir"
+	"suifx/internal/modref"
+	"suifx/internal/summary"
+)
+
+// Options configures the concurrent scheduler.
+type Options struct {
+	// Workers bounds the analysis worker pool. <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// procSlot holds one procedure's analysis results. All slots are allocated
+// before any worker starts; a worker writes only the slots of its own
+// component's procedures, and dependents read them only after the
+// component's done-channel closes — so cross-goroutine access is race-free
+// without locks.
+type procSlot struct {
+	eff *modref.Effects
+	res *summary.ProcResult
+}
+
+// Analyze runs the whole bottom-up interprocedural analysis (mod/ref, then
+// array summaries) over prog with a bounded worker pool, fanning out across
+// call-graph SCCs. The result is byte-identical to summary.Analyze: the
+// per-procedure analyses are pure, and results are merged in the same
+// deterministic bottom-up order regardless of completion order.
+func Analyze(prog *ir.Program, opt Options) *summary.Analysis {
+	sccs := condense(prog)
+	workers := opt.workers()
+
+	slots := make(map[string]*procSlot, len(prog.Procs))
+	for _, p := range prog.Procs {
+		slots[p.Name] = &procSlot{}
+	}
+	effOf := func(name string) *modref.Effects {
+		if s := slots[name]; s != nil {
+			return s.eff
+		}
+		return nil
+	}
+	sumOf := func(name string) *summary.Tuple {
+		if s := slots[name]; s != nil && s.res != nil {
+			return s.res.ProcSum
+		}
+		return nil
+	}
+
+	// Wave 1: mod/ref effects. The summary phase's symbolic evaluator
+	// queries the full mod/ref Info, so this wave joins completely first.
+	mr := modref.NewInfo(prog)
+	runBottomUp(sccs, workers, func(s *scc) {
+		for _, p := range s.procs {
+			slots[p.Name].eff = mr.AnalyzeProc(p, effOf)
+		}
+	})
+	for _, p := range bottomUpProcs(prog) {
+		mr.Merge(p.Name, slots[p.Name].eff)
+	}
+
+	// Wave 2: array data-flow summaries.
+	a := summary.NewAnalysis(prog, mr)
+	runBottomUp(sccs, workers, func(s *scc) {
+		for _, p := range s.procs {
+			slots[p.Name].res = a.AnalyzeProc(p, sumOf)
+		}
+	})
+	for _, p := range bottomUpProcs(prog) {
+		a.Merge(slots[p.Name].res)
+	}
+	return a
+}
+
+// bottomUpProcs is the deterministic merge order: the same order the
+// sequential analyzers use (BottomUpOrder, declaration order on recursion).
+func bottomUpProcs(prog *ir.Program) []*ir.Proc {
+	order, ok := prog.BottomUpOrder()
+	if !ok {
+		return prog.Procs
+	}
+	return order
+}

@@ -1,0 +1,36 @@
+package driver
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"suifx/internal/workloads"
+)
+
+// TestQuickWorkerCountIndependence is the scheduling property the driver
+// guarantees: the analysis result is a pure function of the program, not of
+// the worker count or the (nondeterministic) completion order. Randomly
+// chosen workloads must dump identically under 1, 2, and 8 workers.
+func TestQuickWorkerCountIndependence(t *testing.T) {
+	all := workloads.All()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		w := all[r.Intn(len(all))]
+		base := dump(Analyze(w.Fresh(), Options{Workers: 1}))
+		for _, workers := range []int{2, 8} {
+			if dump(Analyze(w.Fresh(), Options{Workers: workers})) != base {
+				t.Logf("workload %s: %d workers diverged from 1 worker", w.Name, workers)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 8}
+	if testing.Short() {
+		cfg.MaxCount = 3
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,107 @@
+// Package driver schedules the interprocedural analyses (mod/ref, array
+// summaries — the bottom-up transfer summaries the liveness phase consumes)
+// concurrently over the call graph, and memoizes whole-program results in a
+// content-hash-keyed cache. Results are byte-identical to the sequential
+// summary.Analyze / modref.Analyze paths: per-procedure analysis is pure,
+// fresh names are minted per procedure, and merging happens in the same
+// deterministic bottom-up order the sequential code uses.
+package driver
+
+import (
+	"suifx/internal/ir"
+)
+
+// scc is one strongly connected component of the call graph: a unit of
+// scheduling. With MiniF's no-recursion rule every component is a single
+// procedure; components with more members (recursive input that slipped
+// through) are analyzed sequentially inside the component, mirroring the
+// defensive path in the sequential analyzers.
+type scc struct {
+	procs []*ir.Proc // members in deterministic (declaration) order
+	deps  []int      // indices of components this one calls into
+}
+
+// condense computes the SCC condensation of prog's call graph with Tarjan's
+// algorithm and returns the components in bottom-up (reverse topological)
+// order: every component appears after all components it calls. Iteration
+// is driven by declaration order, so the result is deterministic.
+func condense(prog *ir.Program) []*scc {
+	g := prog.CallGraph()
+
+	index := map[string]int{}   // discovery index, by proc name
+	lowlink := map[string]int{} // smallest index reachable
+	onStack := map[string]bool{}
+	comp := map[string]int{} // proc name -> component id
+	var stack []string
+	var comps [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		lowlink[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range g[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			} else if onStack[w] && index[w] < lowlink[v] {
+				lowlink[v] = index[w]
+			}
+		}
+		if lowlink[v] == index[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = len(comps)
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			comps = append(comps, members)
+		}
+	}
+	for _, p := range prog.Procs {
+		if _, seen := index[p.Name]; !seen {
+			strongconnect(p.Name)
+		}
+	}
+
+	// Tarjan pops components in reverse topological order: when a component
+	// is emitted, everything it calls into has already been emitted — which
+	// is exactly the bottom-up schedule.
+	out := make([]*scc, len(comps))
+	for i, members := range comps {
+		s := &scc{}
+		// Declaration order within the component, for the defensive
+		// recursive case.
+		memberSet := map[string]bool{}
+		for _, m := range members {
+			memberSet[m] = true
+		}
+		for _, p := range prog.Procs {
+			if memberSet[p.Name] {
+				s.procs = append(s.procs, p)
+			}
+		}
+		depSeen := map[int]bool{}
+		for _, m := range members {
+			for _, callee := range g[m] {
+				j := comp[callee]
+				if j != i && !depSeen[j] {
+					depSeen[j] = true
+					s.deps = append(s.deps, j)
+				}
+			}
+		}
+		out[i] = s
+	}
+	return out
+}

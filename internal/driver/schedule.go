@@ -1,0 +1,68 @@
+package driver
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// runBottomUp runs fn once per component on a pool of at most workers
+// goroutines, starting each component only after every component it depends
+// on has finished (errgroup-style bounded fan-out with a dependency DAG).
+// sccs must be in bottom-up order (deps point at lower indices). A panic in
+// fn is captured and re-raised in the caller after all goroutines join.
+func runBottomUp(sccs []*scc, workers int, fn func(*scc)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(sccs) <= 1 {
+		for _, s := range sccs {
+			fn(s)
+		}
+		return
+	}
+
+	done := make([]chan struct{}, len(sccs))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	sem := make(chan struct{}, workers)
+
+	var (
+		mu       sync.Mutex
+		panicked any
+	)
+	var wg sync.WaitGroup
+	for i, s := range sccs {
+		wg.Add(1)
+		go func(i int, s *scc) {
+			defer wg.Done()
+			defer close(done[i]) // always close, or dependents deadlock
+			for _, d := range s.deps {
+				<-done[d]
+			}
+			mu.Lock()
+			stop := panicked != nil
+			mu.Unlock()
+			if stop {
+				return
+			}
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					mu.Unlock()
+				}
+			}()
+			fn(s)
+		}(i, s)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("driver: analysis worker panicked: %v", panicked))
+	}
+}

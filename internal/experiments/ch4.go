@@ -233,9 +233,9 @@ func Fig4_8() *Table {
 
 // sliceSizesFor computes the slice metrics for each user-examined loop.
 func sliceSizesFor(w *workloads.Workload) []SliceSizes {
-	prog := w.Fresh()
+	prog, sum := cachedAnalysis(w)
 	g := issa.Build(prog)
-	res := parallel.Parallelize(prog, parallel.Config{UseReductions: true})
+	res := parallel.ParallelizeWith(sum, parallel.Config{UseReductions: true})
 	var out []SliceSizes
 	var ids []string
 	for id := range w.UserAssertions {
@@ -370,7 +370,8 @@ func Fig4_9() *Table {
 		"reduction arrays", "reduction scalars", "user privatizable arrays", "user privatizable scalars"}
 	for _, name := range ch4Apps {
 		w := workloads.ByName(name)
-		res := parallel.Parallelize(w.Fresh(), ch4Config(w, true))
+		_, sum := cachedAnalysis(w)
+		res := parallel.ParallelizeWith(sum, ch4Config(w, true))
 		c := counts{}
 		for id := range w.UserAssertions {
 			li := res.LoopByID(id)
@@ -478,13 +479,14 @@ func BuildPlan(res *parallel.Result, workers int) *exec.ParallelPlan {
 // checks the results agree (the §6.5.2 validation).
 func ValidateUserParallelization(name string, workers int) error {
 	w := workloads.ByName(name)
-	seqProg := w.Fresh()
-	seq := exec.New(seqProg)
+	// Both runs share one cached program: each interpreter owns its arena,
+	// the IR itself is never written.
+	parProg, sum := cachedAnalysis(w)
+	seq := exec.New(parProg)
 	if err := seq.Run(); err != nil {
 		return err
 	}
-	parProg := w.Fresh()
-	res := parallel.Parallelize(parProg, ch4Config(w, true))
+	res := parallel.ParallelizeWith(sum, ch4Config(w, true))
 	plan := BuildPlan(res, workers)
 	par := exec.NewWithPlan(parProg, plan)
 	if err := par.Run(); err != nil {

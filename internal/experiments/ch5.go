@@ -73,7 +73,7 @@ func Fig5_7() *Table {
 	}
 	for _, name := range ch5Apps {
 		w := workloads.ByName(name)
-		sum := summary.Analyze(w.Fresh())
+		_, sum := cachedAnalysis(w)
 		var row []string
 		row = append(row, name)
 		first := true
@@ -158,13 +158,10 @@ func Fig5_10() *Table {
 	model := machine.AlphaServer8400()
 	for _, name := range []string{"arc3d", "wave5", "hydro2d"} {
 		w := workloads.ByName(name)
-		sum := summary.Analyze(w.Fresh())
+		prog, sum := cachedAnalysis(w)
 		live := liveness.Analyze(sum, liveness.Full)
 		splits := live.CommonBlockSplits()
-		prog := w.Fresh()
-		sum2 := summary.Analyze(prog)
-		live2 := liveness.Analyze(sum2, liveness.Full)
-		ar := runAppOn(w, prog, sum2, parallel.Config{UseReductions: true, DeadAtExit: live2.Oracle()})
+		ar := runAppOn(w, prog, sum, parallel.Config{UseReductions: true, DeadAtExit: live.Oracle()})
 		mw := ar.MachineWorkload()
 		// An aliased common block forces one layout for both live ranges:
 		// every chosen parallel loop touching it pays the conflicting-
@@ -220,8 +217,7 @@ func Fig5_12() *Table {
 		Header: []string{"procs", "without contraction", "with contraction"},
 	}
 	w := workloads.ByName("flo88")
-	prog := w.Fresh()
-	sum := summary.Analyze(prog)
+	prog, sum := cachedAnalysis(w)
 	live := liveness.Analyze(sum, liveness.Full)
 	cons := live.Contractions()
 	ar := runAppOn(w, prog, sum, ch4Config(w, true))

@@ -81,8 +81,9 @@ func Fig6_4() *Table {
 	}
 	for _, name := range ch6Apps {
 		w := workloads.ByName(name)
-		without := parallel.Parallelize(w.Fresh(), parallel.Config{UseReductions: false}).Stats()
-		with := parallel.Parallelize(w.Fresh(), parallel.Config{UseReductions: true}).Stats()
+		_, sum := cachedAnalysis(w)
+		without := parallel.ParallelizeWith(sum, parallel.Config{UseReductions: false}).Stats()
+		with := parallel.ParallelizeWith(sum, parallel.Config{UseReductions: true}).Stats()
 		t.Rows = append(t.Rows, []string{
 			name, itoa(with.TotalLoops),
 			itoa(without.ParallelizableN), itoa(with.ParallelizableN),
@@ -141,11 +142,3 @@ func Fig6_6() *Table { return fig66On("Fig 6-6", machine.SGIChallenge(), 4) }
 // Fig6_7 reproduces the 4-processor SGI Origin reduction speedups.
 func Fig6_7() *Table { return fig66On("Fig 6-7", machine.SGIOrigin(), 4) }
 
-// AllTables regenerates every reproduced table/figure in order.
-func AllTables() []*Table {
-	return []*Table{
-		Fig4_1(), Fig4_7(), Fig4_8(), Fig4_9(), Fig4_10(),
-		Fig5_5(), Fig5_6(), Fig5_7(), Fig5_8(), Fig5_10(), Fig5_12(),
-		Fig6_1(), Fig6_2(), Fig6_3(), Fig6_4(), Fig6_5(), Fig6_6(), Fig6_7(),
-	}
-}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"suifx/internal/depend"
+	"suifx/internal/driver"
 	"suifx/internal/exec"
 	"suifx/internal/ir"
 	"suifx/internal/liveness"
@@ -77,10 +78,22 @@ type AppRun struct {
 	In   *exec.Interp
 }
 
-// runApp analyzes and profiles one workload under a configuration.
+// cachedAnalysis returns a workload's parsed program and whole-program
+// summary from the shared driver cache. The pair is shared between tables
+// (and between concurrent table generators): every consumer treats the
+// program and analysis as read-only.
+func cachedAnalysis(w *workloads.Workload) (*ir.Program, *summary.Analysis) {
+	res := driver.Shared().MustAnalyze(w.Name, w.Source, driver.Options{})
+	return res.Prog, res.Sum
+}
+
+// runApp analyzes and profiles one workload under a configuration. The
+// parse and whole-program analysis come from the shared driver cache, so
+// the dozens of tables that re-visit the same workloads derive the summary
+// once; profiling state (interpreter, profiler) is always per-run.
 func runApp(w *workloads.Workload, cfg parallel.Config) *AppRun {
-	prog := w.Fresh()
-	return runAppOn(w, prog, summary.Analyze(prog), cfg)
+	prog, sum := cachedAnalysis(w)
+	return runAppOn(w, prog, sum, cfg)
 }
 
 // runAppOn profiles an already-analyzed program (so liveness oracles built

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden table snapshots")
+
+// maskTiming blanks the wall-clock cells of the Fig 5-6 running-time table:
+// the timings are real measurements on the current host and legitimately
+// vary run to run, while the table's shape (programs, columns) must not.
+func maskTiming(t *Table) *Table {
+	masked := &Table{ID: t.ID, Title: t.Title, Header: t.Header, Notes: t.Notes}
+	for _, r := range t.Rows {
+		row := append([]string(nil), r...)
+		for i := 1; i < len(row); i++ {
+			row[i] = "<ms>"
+		}
+		masked.Rows = append(masked.Rows, row)
+	}
+	return masked
+}
+
+func goldenRender(tb *Table) string {
+	if tb.ID == "Fig 5-6" {
+		tb = maskTiming(tb)
+	}
+	return tb.String()
+}
+
+func goldenPath(id string) string {
+	return filepath.Join("testdata", "golden", "fig"+strings.ReplaceAll(id, "-", "_")+".txt")
+}
+
+// TestGoldenTables snapshots every reproduced table. The tables are
+// produced by the concurrent generation path (Generate fans out across
+// GOMAXPROCS, workload analyses come from the concurrent driver), so a
+// match against the committed snapshots certifies the concurrent pipeline
+// reproduces the sequential results byte-for-byte. Regenerate with
+// `go test ./internal/experiments -run TestGoldenTables -update`.
+func TestGoldenTables(t *testing.T) {
+	ids := TableIDs()
+	tables, err := Generate(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, id := range ids {
+		id, tb := id, tables[i]
+		t.Run(id, func(t *testing.T) {
+			got := goldenRender(tb)
+			path := goldenPath(id)
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden snapshot (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("table %s diverged from golden snapshot %s\n--- got ---\n%s\n--- want ---\n%s",
+					id, path, got, want)
+			}
+		})
+	}
+}
+
+// TestGenerateDeterministic regenerates every table a second time — now
+// entirely from the warm summary cache — and checks the bytes are identical
+// to the first pass, including the fan-out ordering guarantee.
+func TestGenerateDeterministic(t *testing.T) {
+	ids := TableIDs()
+	first, err := Generate(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Generate(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if id == "5-6" {
+			continue // wall-clock timings differ by construction
+		}
+		if a, b := first[i].String(), second[i].String(); a != b {
+			t.Errorf("table %s not reproducible across runs\n--- first ---\n%s\n--- second ---\n%s", id, a, b)
+		}
+	}
+}

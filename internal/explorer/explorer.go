@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"suifx/internal/depend"
+	"suifx/internal/driver"
 	"suifx/internal/exec"
 	"suifx/internal/ir"
 	"suifx/internal/liveness"
@@ -77,9 +78,10 @@ func NewSession(prog *ir.Program, opts Options) (*Session, error) {
 	return s, nil
 }
 
-// Reanalyze re-runs the static pipeline with the current assertions.
+// Reanalyze re-runs the static pipeline with the current assertions. The
+// bottom-up analysis fans out over call-graph SCCs via the driver.
 func (s *Session) Reanalyze() error {
-	s.Sum = summary.Analyze(s.Prog)
+	s.Sum = driver.Analyze(s.Prog, driver.Options{})
 	cfg := parallel.Config{
 		UseReductions: s.Opts.UseReductions,
 		Assertions:    s.Assertions,

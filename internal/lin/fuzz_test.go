@@ -1,0 +1,81 @@
+package lin
+
+import (
+	"testing"
+)
+
+// FuzzLinSystem drives the linear-system layer with an arbitrary byte
+// program (each byte triple is one operation: add constraint, intersect,
+// substitute, eliminate, ...) while maintaining a witness point that every
+// added constraint is shifted to satisfy. Invariants checked on every step:
+// the witness stays inside the system (so IsEmpty must be false), and
+// elimination/projection remain sound for the witness — plus, implicitly,
+// that no input sequence panics the solver.
+func FuzzLinSystem(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{1, 200, 30, 2, 9, 9, 0, 0, 0, 3, 1, 1, 4, 50, 5})
+	f.Add([]byte{5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5})
+	f.Add([]byte{2, 255, 255, 1, 128, 128, 0, 64, 64, 3, 32, 32})
+
+	vars := []string{"i", "j", "k"}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewSystem()
+		pt := map[string]int64{"i": 3, "j": -2, "k": 7}
+		check := func(what string) {
+			if !s.ContainsPoint(pt) {
+				t.Fatalf("%s: witness point fell out of the system %s", what, s)
+			}
+			if s.IsEmpty() {
+				t.Fatalf("%s: system containing the witness reports empty: %s", what, s)
+			}
+		}
+		for i := 0; i+2 < len(data) && len(s.Cons) < 12; i += 3 {
+			op, a, b := data[i], data[i+1], data[i+2]
+			v := vars[int(a)%len(vars)]
+			w := vars[int(b)%len(vars)]
+			c1 := int64(a%7) - 3
+			c2 := int64(b%7) - 3
+			e := Term(v, c1).Add(Term(w, c2))
+			switch op % 5 {
+			case 0: // add a >= constraint shifted to keep the witness inside
+				val, err := e.Eval(pt)
+				if err != nil {
+					t.Fatalf("eval: %v", err)
+				}
+				s.AddGE(e.AddConst(-val + int64(op%3)))
+				check("AddGE")
+			case 1: // add an equality the witness satisfies
+				val, err := e.Eval(pt)
+				if err != nil {
+					t.Fatalf("eval: %v", err)
+				}
+				s.AddEq(e.AddConst(-val))
+				check("AddEq")
+			case 2: // intersect with self must change nothing
+				s = s.Intersect(s.Clone())
+				check("Intersect(self)")
+			case 3: // substitution commutes with evaluation at the witness
+				if v == w {
+					continue
+				}
+				k := int64(op % 4)
+				sub := s.Clone().Substitute(v, Var(w).AddConst(k))
+				moved := map[string]int64{}
+				for name, val := range pt {
+					moved[name] = val
+				}
+				moved[v] = pt[w] + k
+				if sub.ContainsPoint(pt) != s.ContainsPoint(moved) {
+					t.Fatalf("Substitute(%s := %s + %d) changed satisfaction: %s vs %s", v, w, k, sub, s)
+				}
+			case 4: // eliminating a variable is sound for the witness
+				proj := s.Clone().Eliminate(v)
+				if !proj.ContainsPoint(pt) {
+					t.Fatalf("Eliminate(%s): witness not in projection %s of %s", v, proj, s)
+				}
+			}
+			_ = s.String() // must never panic
+		}
+	})
+}

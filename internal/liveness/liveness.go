@@ -177,7 +177,10 @@ func (in *Info) mapToCallee(cs ir.CallSite, callee *ir.Proc, t *summary.Tuple) *
 			actualToFormal[in.Sum.Canon(x.Sym)] = callee.Params[i]
 		}
 	}
-	for sym, acc := range t.Arrays {
+	// Sorted iteration: distinct caller symbols can merge into one formal,
+	// so the merge order must not depend on map iteration.
+	for _, sym := range t.SortedSyms() {
+		acc := t.Arrays[sym]
 		if f, ok := actualToFormal[sym]; ok {
 			merge(out.Get(f), transformToFormal(acc, f, sym))
 			continue

@@ -144,7 +144,10 @@ func isComment(raw string) bool {
 	case 'C', 'c':
 		return len(t) == 1 || t[1] == ' ' || t[1] == '\t'
 	}
-	return strings.TrimSpace(t)[0] == '!'
+	// TrimSpace also strips Unicode whitespace TrimRight's cutset above does
+	// not (\f, \v, \r), so the result can be empty even though t is not.
+	t = strings.TrimSpace(t)
+	return t == "" || t[0] == '!'
 }
 
 // splitLabel peels a leading numeric statement label off the line.

@@ -50,20 +50,38 @@ type Info struct {
 	Effects map[string]*Effects
 }
 
-// Analyze computes mod/ref effects bottom-up over the (acyclic) call graph.
+// NewInfo returns an empty Info; procedure effects are added with
+// AnalyzeProc + Merge (or all at once by Analyze).
+func NewInfo(prog *ir.Program) *Info {
+	return &Info{Prog: prog, Effects: map[string]*Effects{}}
+}
+
+// Analyze computes mod/ref effects bottom-up over the (acyclic) call graph,
+// sequentially. The concurrent scheduler in internal/driver produces the
+// same result by running AnalyzeProc on a worker pool.
 func Analyze(prog *ir.Program) *Info {
-	info := &Info{Prog: prog, Effects: map[string]*Effects{}}
+	info := NewInfo(prog)
 	order, ok := prog.BottomUpOrder()
 	if !ok {
 		order = prog.Procs // recursion rejected upstream; be defensive
 	}
 	for _, p := range order {
-		info.Effects[p.Name] = info.analyzeProc(p)
+		info.Merge(p.Name, info.AnalyzeProc(p, info.EffectsOf))
 	}
 	return info
 }
 
-func (info *Info) analyzeProc(p *ir.Proc) *Effects {
+// EffectsOf returns the merged effects for a procedure name (nil if not yet
+// merged) — the callee lookup used by the sequential driver.
+func (info *Info) EffectsOf(name string) *Effects { return info.Effects[name] }
+
+// Merge records one procedure's effects in the whole-program map.
+func (info *Info) Merge(name string, eff *Effects) { info.Effects[name] = eff }
+
+// AnalyzeProc computes one procedure's effects. It reads only the program
+// structure plus the callees' effects via the lookup, so calls for
+// independent procedures may run concurrently.
+func (info *Info) AnalyzeProc(p *ir.Proc, callee func(string) *Effects) *Effects {
 	eff := newEffects(len(p.Params))
 
 	mod := func(sym *ir.Symbol) {
@@ -105,7 +123,7 @@ func (info *Info) analyzeProc(p *ir.Proc) *Effects {
 				}
 			}
 		case *ir.Call:
-			info.applyCall(p, st, eff)
+			info.applyCall(st, eff, callee)
 		}
 		return true
 	})
@@ -114,12 +132,11 @@ func (info *Info) analyzeProc(p *ir.Proc) *Effects {
 
 // applyCall folds a callee's effects into the caller's summary through the
 // argument bindings and shared common blocks.
-func (info *Info) applyCall(caller *ir.Proc, c *ir.Call, eff *Effects) {
-	callee := info.Prog.ByName[c.Name]
-	if callee == nil {
+func (info *Info) applyCall(c *ir.Call, eff *Effects, callee func(string) *Effects) {
+	if info.Prog.ByName[c.Name] == nil {
 		return
 	}
-	ce := info.Effects[c.Name]
+	ce := callee(c.Name)
 	if ce == nil {
 		return // should not happen in bottom-up order
 	}
@@ -211,17 +228,18 @@ func (info *Info) callTouches(caller *ir.Proc, c *ir.Call, wantMod bool) []*ir.S
 			add(baseSymbol(arg))
 		}
 	}
-	for blk, rs := range commons {
-		for _, sym := range caller.SortedSyms() {
-			if sym.Common != blk {
-				continue
-			}
-			sr := Range{sym.CommonOffset, sym.CommonOffset + sym.NElems() - 1}
-			for _, r := range rs {
-				if sr.overlaps(r) {
-					add(sym)
-					break
-				}
+	// Iterate caller symbols (sorted) in the outer loop so the result order
+	// does not depend on map iteration over common blocks.
+	for _, sym := range caller.SortedSyms() {
+		rs := commons[sym.Common]
+		if sym.Common == "" || len(rs) == 0 {
+			continue
+		}
+		sr := Range{sym.CommonOffset, sym.CommonOffset + sym.NElems() - 1}
+		for _, r := range rs {
+			if sr.overlaps(r) {
+				add(sym)
+				break
 			}
 		}
 	}

@@ -12,6 +12,12 @@ import (
 )
 
 // Analysis holds the whole-program array data-flow results.
+//
+// The mutable result maps (ProcSum, RegionSum, ...) are filled by Merge;
+// everything else (Prog, MR, Reg, the canonical-symbol table) is built once
+// by NewAnalysis and is read-only afterwards, so AnalyzeProc calls for
+// different procedures may run concurrently as long as every callee's result
+// has been merged (or is reachable through the callee lookup) first.
 type Analysis struct {
 	Prog *ir.Program
 	MR   *modref.Info
@@ -32,15 +38,32 @@ type Analysis struct {
 	// the summary from the end of n to the end of r (the paper's S_{r,n}).
 	After map[*region.Region]map[ir.Stmt]*Tuple
 
-	canonTab map[string]*ir.Symbol
-	fresh    int
+	canonTab map[string]*ir.Symbol // precomputed by NewAnalysis, read-only
 }
 
-// Analyze runs the bottom-up array data-flow phase over the whole program.
-func Analyze(prog *ir.Program) *Analysis {
+// ProcResult is one procedure's contribution to the whole-program analysis:
+// the per-region summaries plus the projected procedure summary. It is
+// produced by AnalyzeProc and folded into the Analysis by Merge.
+type ProcResult struct {
+	Proc      *ir.Proc
+	ProcSum   *Tuple
+	RegionSum map[*region.Region]*Tuple
+	BodySum   map[*region.Region]*Tuple
+	Ctx       map[*region.Region]*symbolic.LoopContext
+	After     map[*region.Region]map[ir.Stmt]*Tuple
+}
+
+// NewAnalysis builds the shared read-only state of the bottom-up phase: the
+// mod/ref summaries (computed if mr is nil), the region graph, and the
+// canonical common-block symbol table. Procedure results are added with
+// AnalyzeProc + Merge.
+func NewAnalysis(prog *ir.Program, mr *modref.Info) *Analysis {
+	if mr == nil {
+		mr = modref.Analyze(prog)
+	}
 	a := &Analysis{
 		Prog:      prog,
-		MR:        modref.Analyze(prog),
+		MR:        mr,
 		Reg:       region.Build(prog),
 		ProcSum:   map[string]*Tuple{},
 		RegionSum: map[*region.Region]*Tuple{},
@@ -49,26 +72,110 @@ func Analyze(prog *ir.Program) *Analysis {
 		After:     map[*region.Region]map[ir.Stmt]*Tuple{},
 		canonTab:  map[string]*ir.Symbol{},
 	}
-	order, _ := prog.BottomUpOrder()
+	a.precomputeCanon()
+	return a
+}
+
+// Analyze runs the bottom-up array data-flow phase over the whole program,
+// sequentially. The concurrent scheduler in internal/driver produces
+// byte-identical results by running AnalyzeProc on a worker pool and calling
+// Merge in the same bottom-up order.
+func Analyze(prog *ir.Program) *Analysis {
+	a := NewAnalysis(prog, nil)
+	order, ok := prog.BottomUpOrder()
+	if !ok {
+		order = prog.Procs // recursion rejected upstream; be defensive
+	}
 	for _, p := range order {
-		a.analyzeProc(p)
+		a.Merge(a.AnalyzeProc(p, a.ProcSummary))
 	}
 	return a
+}
+
+// ProcSummary returns the merged procedure summary for name (nil if not yet
+// merged) — the callee lookup used by the sequential driver.
+func (a *Analysis) ProcSummary(name string) *Tuple { return a.ProcSum[name] }
+
+// Merge folds one procedure's result into the whole-program maps. It must
+// not race with AnalyzeProc readers of ProcSum; schedulers call it either
+// single-threaded (after all workers finish) or before any dependent
+// procedure starts.
+func (a *Analysis) Merge(r *ProcResult) {
+	a.ProcSum[r.Proc.Name] = r.ProcSum
+	for k, v := range r.RegionSum {
+		a.RegionSum[k] = v
+	}
+	for k, v := range r.BodySum {
+		a.BodySum[k] = v
+	}
+	for k, v := range r.Ctx {
+		a.Ctx[k] = v
+	}
+	for k, v := range r.After {
+		a.After[k] = v
+	}
+}
+
+func canonKey(sym *ir.Symbol) string {
+	return fmt.Sprintf("%s+%d:%d:%v", sym.Common, sym.CommonOffset, sym.NElems(), sym.Dims)
+}
+
+// precomputeCanon registers every common-block symbol of the program in the
+// canonical table up front, so Canon is a pure lookup during the (possibly
+// concurrent) analysis. Registration order mirrors the sequential analysis:
+// procedures bottom-up, references in statement-walk order, then declared
+// symbols — so the canonical representative matches what the sequential
+// first-touch rule used to pick.
+func (a *Analysis) precomputeCanon() {
+	reg := func(sym *ir.Symbol) {
+		if sym == nil || sym.Common == "" {
+			return
+		}
+		key := canonKey(sym)
+		if a.canonTab[key] == nil {
+			a.canonTab[key] = sym
+		}
+	}
+	order, ok := a.Prog.BottomUpOrder()
+	if !ok {
+		order = a.Prog.Procs
+	}
+	for _, p := range order {
+		ir.WalkStmts(p.Body, func(s ir.Stmt) bool {
+			if l, isLoop := s.(*ir.DoLoop); isLoop {
+				reg(l.Index)
+			}
+			ir.WalkExprs(s, func(e ir.Expr) {
+				switch x := e.(type) {
+				case *ir.VarRef:
+					reg(x.Sym)
+				case *ir.ArrayRef:
+					reg(x.Sym)
+				}
+			})
+			return true
+		})
+	}
+	for _, p := range order {
+		for _, s := range p.SortedSyms() {
+			reg(s)
+		}
+	}
 }
 
 // Canon returns the canonical symbol for sym: common-block members with the
 // same block, offset and shape share one key across procedures, so accesses
 // from different procedures unify. Locals and parameters are their own keys.
+// The table is precomputed by NewAnalysis, so Canon is safe to call from
+// concurrent AnalyzeProc workers.
 func (a *Analysis) Canon(sym *ir.Symbol) *ir.Symbol {
 	if sym.Common == "" {
 		return sym
 	}
-	key := fmt.Sprintf("%s+%d:%d:%v", sym.Common, sym.CommonOffset, sym.NElems(), sym.Dims)
-	if c := a.canonTab[key]; c != nil {
+	if c := a.canonTab[canonKey(sym)]; c != nil {
 		return c
 	}
-	a.canonTab[key] = sym
-	return sym
+	return sym // unreachable: precomputeCanon covers every declared symbol
 }
 
 // Overlaps reports whether two distinct canonical symbols may alias: both in
@@ -93,20 +200,35 @@ type node struct {
 }
 
 type walker struct {
-	a    *Analysis
-	proc *ir.Proc
-	ev   *symbolic.Evaluator
-	ctx  []*lin.System // active in-proc loop bound constraints
+	a      *Analysis
+	proc   *ir.Proc
+	ev     *symbolic.Evaluator
+	ctx    []*lin.System // active in-proc loop bound constraints
+	res    *ProcResult
+	callee func(string) *Tuple // callee summary lookup (merged results)
+	fresh  int                 // per-proc fresh-name counter (deterministic)
 }
 
-func (a *Analysis) analyzeProc(p *ir.Proc) {
-	w := &walker{a: a, proc: p, ev: symbolic.NewEvaluator(a.MR, p)}
+// AnalyzeProc computes one procedure's summaries. It only reads the shared
+// state of a (Prog, MR, Reg, canon table) plus the summaries of p's callees
+// via the callee lookup; all results land in the returned ProcResult, so
+// calls for independent procedures may run concurrently.
+func (a *Analysis) AnalyzeProc(p *ir.Proc, callee func(string) *Tuple) *ProcResult {
+	res := &ProcResult{
+		Proc:      p,
+		RegionSum: map[*region.Region]*Tuple{},
+		BodySum:   map[*region.Region]*Tuple{},
+		Ctx:       map[*region.Region]*symbolic.LoopContext{},
+		After:     map[*region.Region]map[ir.Stmt]*Tuple{},
+	}
+	w := &walker{a: a, proc: p, ev: symbolic.NewEvaluator(a.MR, p), res: res, callee: callee}
 	nodes := w.walkList(p.Body)
 	top := a.Reg.ProcTop[p.Name]
-	a.After[top] = map[ir.Stmt]*Tuple{}
-	sum := a.composeNodes(top, nodes, NewTuple())
-	a.RegionSum[top] = sum
-	a.ProcSum[p.Name] = a.projectProc(p, sum)
+	res.After[top] = map[ir.Stmt]*Tuple{}
+	sum := w.composeNodes(top, nodes, NewTuple())
+	res.RegionSum[top] = sum
+	res.ProcSum = a.projectProc(p, sum)
+	return res
 }
 
 // ---- forward walk ----
@@ -219,12 +341,12 @@ func (w *walker) walkLoop(l *ir.DoLoop) *node {
 
 	lr := w.a.Reg.OfLoop[l]
 	body := lr.Body()
-	w.a.After[body] = map[ir.Stmt]*Tuple{}
-	bodyTuple := w.a.composeNodes(body, bodyNodes, NewTuple())
-	w.a.BodySum[body] = bodyTuple
+	w.res.After[body] = map[ir.Stmt]*Tuple{}
+	bodyTuple := w.composeNodes(body, bodyNodes, NewTuple())
+	w.res.BodySum[body] = bodyTuple
 
 	full := leave()
-	w.a.Ctx[lr] = full
+	w.res.Ctx[lr] = full
 
 	// The §5.2.2.3 refinement subtracts strictly-earlier-iteration
 	// must-writes; it is sound whenever the loop bounds are exact.
@@ -239,7 +361,7 @@ func (w *walker) walkLoop(l *ir.DoLoop) *node {
 	idxAcc.Plain = fullScalar()
 	idxAcc.PlainW = fullScalar()
 
-	w.a.RegionSum[lr] = loopTuple
+	w.res.RegionSum[lr] = loopTuple
 	return &node{stmt: l, tuple: Compose(t, loopTuple)}
 }
 
@@ -506,17 +628,17 @@ func (w *walker) leafIO(st *ir.IO) *Tuple {
 
 // composeNodes computes the summary of the node list followed by cont,
 // recording After[r][stmt] (the paper's S_{r,n}) for loops and calls.
-func (a *Analysis) composeNodes(r *region.Region, nodes []*node, cont *Tuple) *Tuple {
+func (w *walker) composeNodes(r *region.Region, nodes []*node, cont *Tuple) *Tuple {
 	v := cont
 	for i := len(nodes) - 1; i >= 0; i-- {
 		n := nodes[i]
 		switch n.stmt.(type) {
 		case *ir.Call, *ir.DoLoop:
-			a.After[r][n.stmt] = v.Clone()
+			w.res.After[r][n.stmt] = v.Clone()
 		}
 		if n.isIf {
-			vt := a.composeNodes(r, n.thenN, v)
-			ve := a.composeNodes(r, n.elN, v)
+			vt := w.composeNodes(r, n.thenN, v)
+			ve := w.composeNodes(r, n.elN, v)
 			v = Compose(n.tuple, Meet(vt, ve))
 			continue
 		}

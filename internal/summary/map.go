@@ -37,15 +37,17 @@ func (w *walker) leafCall(c *ir.Call) *Tuple {
 }
 
 // mapCall maps the callee's procedure summary into the caller's name space.
+// Symbols are mapped in sorted order so fresh variant names are minted
+// deterministically regardless of map iteration order.
 func (w *walker) mapCall(c *ir.Call, callee *ir.Proc) *Tuple {
-	sum := w.a.ProcSum[callee.Name]
+	sum := w.callee(callee.Name)
 	if sum == nil {
 		return NewTuple()
 	}
 	m := &callMapper{w: w, c: c, callee: callee, leftover: map[string]string{}}
 	out := NewTuple()
-	for sym, acc := range sum.Arrays {
-		m.mapAccess(out, sym, acc)
+	for _, sym := range sum.SortedSyms() {
+		m.mapAccess(out, sym, sum.Arrays[sym])
 	}
 	return out
 }
@@ -221,13 +223,15 @@ func (m *callMapper) replacement(v string) (lin.Expr, bool) {
 }
 
 // fresh mints (memoized per call site) a caller-side variant unknown for a
-// callee name.
+// callee name. The counter is per-procedure walker state, so minted names
+// depend only on the procedure's own statement order — independent of the
+// order procedures are analyzed in.
 func (m *callMapper) fresh(v string) string {
 	if n, ok := m.leftover[v]; ok {
 		return n
 	}
-	m.w.a.fresh++
-	n := fmt.Sprintf("%%call.%s.%d", v, m.w.a.fresh)
+	m.w.fresh++
+	n := fmt.Sprintf("%%call.%s.%d", v, m.w.fresh)
 	m.leftover[v] = n
 	return n
 }

@@ -18,6 +18,7 @@ package symbolic
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"suifx/internal/ir"
@@ -222,7 +223,9 @@ func (ev *Evaluator) EnterLoopBody(l *ir.DoLoop) (lc *LoopContext, leave func() 
 			okStep = false
 		}
 	}
-	for sym := range killed {
+	// Sorted order: Kill mints numbered fresh names, so iteration order must
+	// be deterministic for reproducible summaries.
+	for _, sym := range sortSymSet(killed) {
 		if sym != l.Index {
 			ev.Kill(sym)
 		}
@@ -272,7 +275,8 @@ func (ev *Evaluator) MergeBranches(a, b *Evaluator) {
 	for s := range b.env {
 		syms[s] = true
 	}
-	for s := range syms {
+	// Sorted order: disagreeing bindings mint numbered fresh names.
+	for _, s := range sortSymSet(syms) {
 		ba, oka := a.env[s]
 		bb, okb := b.env[s]
 		switch {
@@ -284,6 +288,17 @@ func (ev *Evaluator) MergeBranches(a, b *Evaluator) {
 			ev.env[s] = ev.freshName(s)
 		}
 	}
+}
+
+// sortSymSet returns the set's symbols ordered by name (names are unique
+// within a procedure's scope).
+func sortSymSet(set map[*ir.Symbol]bool) []*ir.Symbol {
+	out := make([]*ir.Symbol, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // Value returns the current affine value of a scalar.
