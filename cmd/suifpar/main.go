@@ -9,13 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"suifx/internal/driver"
 	"suifx/internal/liveness"
-	"suifx/internal/minif"
 	"suifx/internal/parallel"
 	"suifx/internal/workloads"
 )
@@ -43,11 +44,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	prog, err := minif.Parse(name, src)
+	// The context-aware cache path: Ctrl-C abandons queued SCC waves
+	// instead of running the analysis to completion, and repeated runs in
+	// one process (tests, future REPL use) share summaries.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res0, err := driver.Shared().AnalyzeCtx(ctx, name, src, driver.Options{Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}
-	sum := driver.Analyze(prog, driver.Options{Workers: *workers})
+	sum := res0.Sum
 	cfg := parallel.Config{UseReductions: !*noRed}
 	if *useLive {
 		cfg.DeadAtExit = liveness.Analyze(sum, liveness.Full).Oracle()

@@ -1,0 +1,75 @@
+// Command suifxd is the long-running SUIF Explorer analysis service: an
+// HTTP/JSON daemon exposing the interprocedural analyses over a bounded
+// summary cache.
+//
+// Endpoints:
+//
+//	POST /v1/analyze   full driver result: SCC schedule, summaries,
+//	                   mod/ref effects, per-loop parallelization verdicts
+//	POST /v1/slice     interprocedural program/data/control slices
+//	POST /v1/profile   exec-based loop profile (virtual time per loop)
+//	GET  /v1/stats     cache + server counters and latency histograms
+//	GET  /debug/vars   expvar (includes the "suifxd" snapshot)
+//	GET  /debug/pprof  standard pprof handlers
+//
+// Usage:
+//
+//	suifxd [-addr host:port] [-timeout 30s] [-max-concurrent 32]
+//	       [-max-body 1048576] [-cache-cap 128] [-workers n]
+//
+// SIGINT/SIGTERM shut the server down gracefully: the listener closes,
+// in-flight requests drain, and the process exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"suifx/internal/driver"
+	"suifx/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7459", "listen address")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request analysis timeout")
+	maxConc := flag.Int("max-concurrent", 32, "max concurrent heavy requests before 429 shedding")
+	maxBody := flag.Int64("max-body", 1<<20, "max request body bytes (larger gets 413)")
+	cacheCap := flag.Int("cache-cap", driver.DefaultCacheCapacity, "summary cache capacity (LRU entries)")
+	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: suifxd [flags]; see -h")
+		os.Exit(2)
+	}
+
+	cache := driver.Shared()
+	if *cacheCap != driver.DefaultCacheCapacity {
+		cache = driver.NewCacheCap(*cacheCap)
+	}
+	srv := server.New(server.Config{
+		Addr:           *addr,
+		MaxConcurrent:  *maxConc,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		Workers:        *workers,
+		Cache:          cache,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err := srv.ListenAndServe(ctx, func(addr string) {
+		// The e2e harness parses this line to find the bound port.
+		fmt.Printf("suifxd: listening on %s\n", addr)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suifxd:", err)
+		os.Exit(1)
+	}
+	fmt.Println("suifxd: graceful shutdown complete")
+}

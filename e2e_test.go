@@ -1,0 +1,308 @@
+// End-to-end tests for every binary in cmd/: each test builds the real
+// binary with `go build` into a shared temp dir and drives it the way a
+// user would — flags, files, stdin, signals, and live HTTP round-trips.
+package suifx_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"suifx/internal/experiments"
+	"suifx/internal/workloads"
+)
+
+var binaries struct {
+	mu    sync.Mutex
+	dir   string
+	built map[string]string
+}
+
+// buildBinary compiles cmd/<name> once per test run and returns its path.
+func buildBinary(t *testing.T, name string) string {
+	t.Helper()
+	binaries.mu.Lock()
+	defer binaries.mu.Unlock()
+	if binaries.built == nil {
+		binaries.built = map[string]string{}
+		dir, err := os.MkdirTemp("", "suifx-e2e-*")
+		if err != nil {
+			t.Fatal(err)
+		}
+		binaries.dir = dir
+	}
+	if p, ok := binaries.built[name]; ok {
+		return p
+	}
+	out := filepath.Join(binaries.dir, name)
+	cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+	if msg, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/%s: %v\n%s", name, err, msg)
+	}
+	binaries.built[name] = out
+	return out
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if binaries.dir != "" {
+		os.RemoveAll(binaries.dir)
+	}
+	os.Exit(code)
+}
+
+// run executes a built binary with a deadline and returns stdout, stderr,
+// and the exit code.
+func run(t *testing.T, bin string, stdin string, args ...string) (string, string, int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v", bin, args, err)
+	}
+	return out.String(), errb.String(), code
+}
+
+func TestE2ESuifpar(t *testing.T) {
+	bin := buildBinary(t, "suifpar")
+	w := workloads.All()[0]
+
+	t.Run("workload", func(t *testing.T) {
+		stdout, stderr, code := run(t, bin, "", "-workload", w.Name)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, stderr)
+		}
+		if !strings.Contains(stdout, "loops,") || !strings.Contains(stdout, "parallelizable") {
+			t.Fatalf("report header missing from output:\n%s", stdout)
+		}
+	})
+
+	t.Run("file with flags", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "prog.f")
+		if err := os.WriteFile(path, []byte(w.Source), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		stdout, stderr, code := run(t, bin, "", "-noreductions", "-liveness", "-workers", "2", path)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, stderr)
+		}
+		if !strings.Contains(stdout, path+":") {
+			t.Fatalf("report does not name the input file:\n%s", stdout)
+		}
+	})
+
+	t.Run("usage error", func(t *testing.T) {
+		_, stderr, code := run(t, bin, "")
+		if code != 2 || !strings.Contains(stderr, "usage:") {
+			t.Fatalf("no-arg run: exit %d, stderr %q (want 2 + usage)", code, stderr)
+		}
+	})
+
+	t.Run("bad file", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "bad.f")
+		os.WriteFile(path, []byte("NOT MINIF(("), 0o644)
+		_, stderr, code := run(t, bin, "", path)
+		if code != 1 || !strings.Contains(stderr, "suifpar:") {
+			t.Fatalf("bad file: exit %d, stderr %q (want 1 + error)", code, stderr)
+		}
+	})
+}
+
+func TestE2EPaperfigs(t *testing.T) {
+	bin := buildBinary(t, "paperfigs")
+	ids := experiments.TableIDs()
+	if len(ids) == 0 {
+		t.Fatal("no table ids")
+	}
+
+	t.Run("one table", func(t *testing.T) {
+		stdout, stderr, code := run(t, bin, "", ids[0])
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, stderr)
+		}
+		if strings.TrimSpace(stdout) == "" {
+			t.Fatal("table output is empty")
+		}
+	})
+
+	t.Run("several tables keep request order", func(t *testing.T) {
+		if len(ids) < 2 {
+			t.Skip("only one table")
+		}
+		a, _, _ := run(t, bin, "", ids[0])
+		b, _, _ := run(t, bin, "", ids[1])
+		both, _, code := run(t, bin, "", ids[0], ids[1])
+		if code != 0 {
+			t.Fatalf("exit %d", code)
+		}
+		ia := strings.Index(both, strings.TrimSpace(strings.Split(a, "\n")[0]))
+		ib := strings.Index(both, strings.TrimSpace(strings.Split(b, "\n")[0]))
+		if ia < 0 || ib < 0 || ia > ib {
+			t.Fatalf("combined output does not preserve request order (%d, %d)", ia, ib)
+		}
+	})
+
+	t.Run("unknown id", func(t *testing.T) {
+		_, stderr, code := run(t, bin, "", "not-a-table")
+		if code != 1 || !strings.Contains(stderr, "paperfigs:") {
+			t.Fatalf("unknown id: exit %d, stderr %q", code, stderr)
+		}
+	})
+}
+
+func TestE2EExplorer(t *testing.T) {
+	bin := buildBinary(t, "explorer")
+	w := workloads.All()[0]
+
+	t.Run("script mode", func(t *testing.T) {
+		stdout, stderr, code := run(t, bin, "", "-workload", w.Name, "-c", "targets;report;quit")
+		if code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, stderr)
+		}
+		if !strings.Contains(stdout, "SUIF Explorer:") || !strings.Contains(stdout, "parallelism coverage") {
+			t.Fatalf("session banner missing:\n%s", stdout)
+		}
+	})
+
+	t.Run("stdin session", func(t *testing.T) {
+		stdout, _, code := run(t, bin, "report\nquit\n", "-workload", w.Name)
+		if code != 0 {
+			t.Fatalf("exit %d", code)
+		}
+		if strings.Count(stdout, "parallelism coverage") < 2 {
+			t.Fatalf("stdin report command did not run:\n%s", stdout)
+		}
+	})
+}
+
+// TestE2ESuifxd boots the daemon on an ephemeral port, round-trips every
+// endpoint over real HTTP, and shuts it down with SIGTERM.
+func TestE2ESuifxd(t *testing.T) {
+	bin := buildBinary(t, "suifxd")
+	w := workloads.All()[0]
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-timeout", "30s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints "suifxd: listening on ADDR" once bound.
+	sc := bufio.NewScanner(stdout)
+	addrCh := make(chan string, 1)
+	var tailMu sync.Mutex
+	var tailBuf strings.Builder
+	tail := func() string {
+		tailMu.Lock()
+		defer tailMu.Unlock()
+		return tailBuf.String()
+	}
+	scanDone := make(chan struct{})
+	go func() {
+		defer close(scanDone)
+		for sc.Scan() {
+			line := sc.Text()
+			tailMu.Lock()
+			tailBuf.WriteString(line + "\n")
+			tailMu.Unlock()
+			if _, a, ok := strings.Cut(line, "listening on "); ok {
+				select {
+				case addrCh <- strings.TrimSpace(a):
+				default:
+				}
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never reported its address; output so far:\n%s", tail())
+	}
+	base := "http://" + addr
+
+	post := func(path string, body any) (int, map[string]json.RawMessage) {
+		t.Helper()
+		data, _ := json.Marshal(body)
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		fields := map[string]json.RawMessage{}
+		json.Unmarshal(raw, &fields)
+		return resp.StatusCode, fields
+	}
+
+	if code, fields := post("/v1/analyze", map[string]any{"workload": w.Name}); code != 200 {
+		t.Fatalf("analyze: status %d (%s)", code, fields["error"])
+	}
+	if code, _ := post("/v1/analyze", map[string]any{"source": "garbage(("}); code != 422 {
+		t.Fatalf("bad source: status %d, want 422", code)
+	}
+	if code, fields := post("/v1/profile", map[string]any{"workload": w.Name}); code != 200 {
+		t.Fatalf("profile: status %d (%s)", code, fields["error"])
+	}
+
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Cache struct {
+			Misses  int64 `json:"misses"`
+			Entries int   `json:"entries"`
+		} `json:"cache"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil || stats.Cache.Misses < 1 || stats.Cache.Entries < 1 {
+		t.Fatalf("stats: err=%v cache=%+v", err, stats.Cache)
+	}
+
+	// Graceful shutdown on SIGTERM: exit code 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v\noutput:\n%s", err, tail())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not shut down after SIGTERM; output:\n%s", tail())
+	}
+	<-scanDone
+	if !strings.Contains(tail(), "graceful shutdown complete") {
+		t.Fatalf("missing graceful-shutdown message; output:\n%s", tail())
+	}
+}

@@ -1,8 +1,11 @@
 package driver
 
 import (
+	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -30,25 +33,49 @@ type Result struct {
 	ProcHashes map[string]string
 }
 
-// Cache memoizes analysis results by source content hash. Concurrent
-// callers asking for the same program share one analysis run (singleflight
-// per entry via sync.Once).
+// DefaultCacheCapacity bounds Shared() and NewCache(): enough for every
+// built-in workload plus a healthy working set of ad-hoc sources, small
+// enough that a long-lived suifxd serving arbitrary programs cannot grow
+// without bound.
+const DefaultCacheCapacity = 128
+
+// Cache memoizes analysis results by source content hash, bounded to a
+// fixed number of entries with LRU eviction. Concurrent callers asking for
+// the same program share one analysis run (singleflight per entry); every
+// waiter on a cancelled run observes the same cancellation error, and the
+// cancelled entry is dropped so a later request retries from scratch.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[string]*cacheEntry
-	hits    atomic.Int64
-	misses  atomic.Int64
+	mu        sync.Mutex
+	capacity  int
+	entries   map[string]*cacheEntry
+	order     *list.List // front = most recently used
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
+// cacheEntry is one singleflight slot. The computing goroutine fills res/err
+// and then closes done; everyone else blocks on done (or their own ctx).
+// complete is written under Cache.mu, so eviction can skip in-flight runs.
 type cacheEntry struct {
-	once sync.Once
-	res  *Result
-	err  error
+	key      string
+	elem     *list.Element
+	done     chan struct{}
+	complete bool
+	res      *Result
+	err      error
 }
 
-// NewCache returns an empty cache.
-func NewCache() *Cache {
-	return &Cache{entries: map[string]*cacheEntry{}}
+// NewCache returns an empty cache with DefaultCacheCapacity.
+func NewCache() *Cache { return NewCacheCap(DefaultCacheCapacity) }
+
+// NewCacheCap returns an empty cache holding at most capacity entries
+// (<= 0 means DefaultCacheCapacity).
+func NewCacheCap(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{capacity: capacity, entries: map[string]*cacheEntry{}, order: list.New()}
 }
 
 var shared = NewCache()
@@ -71,32 +98,93 @@ func Key(name, src string) string {
 // the second request for identical source returns the first run's Result
 // without re-parsing or re-analyzing.
 func (c *Cache) Analyze(name, src string, opt Options) (*Result, error) {
+	return c.AnalyzeCtx(context.Background(), name, src, opt)
+}
+
+// AnalyzeCtx is Analyze with cancellation. The first caller for a key runs
+// the parse+analysis under its own ctx; concurrent callers for the same key
+// wait for that run. A waiter whose own ctx ends returns its ctx error and
+// leaves the run going for the others; if the running caller's ctx ends,
+// the run is abandoned, every waiter observes that same cancellation error,
+// and the entry is removed so the next request recomputes.
+func (c *Cache) AnalyzeCtx(ctx context.Context, name, src string, opt Options) (*Result, error) {
 	key := Key(name, src)
+
 	c.mu.Lock()
-	e := c.entries[key]
-	if e == nil {
-		e = &cacheEntry{}
-		c.entries[key] = e
-		c.misses.Add(1)
-	} else {
+	if e := c.entries[key]; e != nil {
 		c.hits.Add(1)
+		c.order.MoveToFront(e.elem)
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			return e.res, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
+	e := &cacheEntry{key: key, done: make(chan struct{})}
+	e.elem = c.order.PushFront(e)
+	c.entries[key] = e
+	c.misses.Add(1)
+	c.evictLocked()
 	c.mu.Unlock()
 
-	e.once.Do(func() {
-		prog, err := minif.Parse(name, src)
-		if err != nil {
-			e.err = fmt.Errorf("driver: parse %s: %w", name, err)
-			return
-		}
-		e.res = &Result{
-			Prog:       prog,
-			Sum:        Analyze(prog, opt),
-			SourceHash: key,
-			ProcHashes: procHashes(prog, src),
-		}
-	})
+	e.res, e.err = c.compute(ctx, name, src, opt)
+
+	c.mu.Lock()
+	if errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded) {
+		// Cancelled, not failed: drop the entry so a later request retries.
+		// Deterministic failures (parse errors) stay cached.
+		c.removeLocked(e)
+	}
+	e.complete = true
+	c.mu.Unlock()
+	close(e.done)
 	return e.res, e.err
+}
+
+func (c *Cache) compute(ctx context.Context, name, src string, opt Options) (*Result, error) {
+	prog, err := minif.Parse(name, src)
+	if err != nil {
+		return nil, fmt.Errorf("driver: parse %s: %w", name, err)
+	}
+	sum, err := AnalyzeCtx(ctx, prog, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Prog:       prog,
+		Sum:        sum,
+		SourceHash: Key(name, src),
+		ProcHashes: procHashes(prog, src),
+	}, nil
+}
+
+// evictLocked drops least-recently-used completed entries until the cache
+// fits its capacity. In-flight entries are never evicted — that would break
+// the singleflight guarantee for requests arriving mid-run — so the cache
+// can transiently exceed capacity while many distinct programs are being
+// analyzed at once.
+func (c *Cache) evictLocked() {
+	for el := c.order.Back(); el != nil && len(c.entries) > c.capacity; {
+		prev := el.Prev()
+		e := el.Value.(*cacheEntry)
+		if e.complete {
+			c.removeLocked(e)
+			c.evictions.Add(1)
+		}
+		el = prev
+	}
+}
+
+// removeLocked unlinks e if it is still the current entry for its key. The
+// identity check is the Reset-race guard: a run that finishes after a Reset
+// (or after being superseded) must not disturb the new generation's entry.
+func (c *Cache) removeLocked(e *cacheEntry) {
+	if c.entries[e.key] == e {
+		delete(c.entries, e.key)
+		c.order.Remove(e.elem)
+	}
 }
 
 // MustAnalyze is Analyze for known-good workload sources.
@@ -108,15 +196,38 @@ func (c *Cache) MustAnalyze(name, src string, opt Options) *Result {
 	return res
 }
 
-// Stats reports cache hits and misses since creation.
-func (c *Cache) Stats() (hits, misses int64) {
-	return c.hits.Load(), c.misses.Load()
+// CacheStats is a point-in-time cache counter snapshot.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
 }
 
-// Reset drops all entries (test hook).
+// Stats reports cache counters since creation plus current occupancy.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	entries := len(c.entries)
+	capacity := c.capacity
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+		Capacity:  capacity,
+	}
+}
+
+// Reset drops all entries (test hook). In-flight runs keep computing for
+// their current waiters but can no longer touch the new generation: their
+// completion handler's identity check (removeLocked) no-ops, and requests
+// after the Reset start fresh entries.
 func (c *Cache) Reset() {
 	c.mu.Lock()
 	c.entries = map[string]*cacheEntry{}
+	c.order = list.New()
 	c.mu.Unlock()
 }
 

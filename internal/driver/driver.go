@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"runtime"
 
 	"suifx/internal/ir"
@@ -12,6 +13,10 @@ import (
 type Options struct {
 	// Workers bounds the analysis worker pool. <= 0 means GOMAXPROCS.
 	Workers int
+
+	// onProc, when set, is called before each procedure is analyzed in each
+	// wave (test hook: lets cancellation tests observe and gate progress).
+	onProc func(wave int, proc string)
 }
 
 func (o Options) workers() int {
@@ -37,6 +42,19 @@ type procSlot struct {
 // per-procedure analyses are pure, and results are merged in the same
 // deterministic bottom-up order regardless of completion order.
 func Analyze(prog *ir.Program, opt Options) *summary.Analysis {
+	a, err := AnalyzeCtx(context.Background(), prog, opt)
+	if err != nil {
+		// Background is never cancelled, and AnalyzeCtx errors only on
+		// cancellation.
+		panic("driver: Analyze failed without cancellation: " + err.Error())
+	}
+	return a
+}
+
+// AnalyzeCtx is Analyze with cancellation: when ctx is cancelled, queued
+// SCC waves are abandoned and the error is ctx's. The partial per-procedure
+// work is discarded — a cancelled analysis returns nil.
+func AnalyzeCtx(ctx context.Context, prog *ir.Program, opt Options) (*summary.Analysis, error) {
 	sccs := condense(prog)
 	workers := opt.workers()
 
@@ -60,26 +78,63 @@ func Analyze(prog *ir.Program, opt Options) *summary.Analysis {
 	// Wave 1: mod/ref effects. The summary phase's symbolic evaluator
 	// queries the full mod/ref Info, so this wave joins completely first.
 	mr := modref.NewInfo(prog)
-	runBottomUp(sccs, workers, func(s *scc) {
+	err := runBottomUp(ctx, sccs, workers, func(s *scc) {
 		for _, p := range s.procs {
+			if opt.onProc != nil {
+				opt.onProc(1, p.Name)
+			}
 			slots[p.Name].eff = mr.AnalyzeProc(p, effOf)
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, p := range bottomUpProcs(prog) {
 		mr.Merge(p.Name, slots[p.Name].eff)
 	}
 
 	// Wave 2: array data-flow summaries.
 	a := summary.NewAnalysis(prog, mr)
-	runBottomUp(sccs, workers, func(s *scc) {
+	err = runBottomUp(ctx, sccs, workers, func(s *scc) {
 		for _, p := range s.procs {
+			if opt.onProc != nil {
+				opt.onProc(2, p.Name)
+			}
 			slots[p.Name].res = a.AnalyzeProc(p, sumOf)
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, p := range bottomUpProcs(prog) {
 		a.Merge(slots[p.Name].res)
 	}
-	return a
+	return a, nil
+}
+
+// SCC is one component of the exported analysis schedule: the procedures it
+// contains (declaration order) and the indices of the components it calls
+// into. Components are listed bottom-up, so every dep index is smaller than
+// the component's own index.
+type SCC struct {
+	Procs []string `json:"procs"`
+	Deps  []int    `json:"deps,omitempty"`
+}
+
+// Schedule returns the bottom-up SCC schedule the driver would run for
+// prog — the call-graph condensation, in execution order.
+func Schedule(prog *ir.Program) []SCC {
+	sccs := condense(prog)
+	out := make([]SCC, len(sccs))
+	for i, s := range sccs {
+		c := SCC{Procs: make([]string, len(s.procs))}
+		for j, p := range s.procs {
+			c.Procs[j] = p.Name
+		}
+		c.Deps = append(c.Deps, s.deps...)
+		out[i] = c
+	}
+	return out
 }
 
 // bottomUpProcs is the deterministic merge order: the same order the

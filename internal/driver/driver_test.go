@@ -152,8 +152,8 @@ func TestCacheMemoizes(t *testing.T) {
 	if r1 != r2 {
 		t.Fatal("second request for identical source did not reuse the memoized result")
 	}
-	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
-		t.Fatalf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/1", st.Hits, st.Misses)
 	}
 	// Different source -> different entry and key.
 	r3, err := c.Analyze(w.Name, w.Source+"\n", Options{})

@@ -1,9 +1,11 @@
 package driver
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // runBottomUp runs fn once per component on a pool of at most workers
@@ -11,15 +13,24 @@ import (
 // on has finished (errgroup-style bounded fan-out with a dependency DAG).
 // sccs must be in bottom-up order (deps point at lower indices). A panic in
 // fn is captured and re-raised in the caller after all goroutines join.
-func runBottomUp(sccs []*scc, workers int, fn func(*scc)) {
+//
+// Cancelling ctx abandons every component that has not yet started: queued
+// waves are skipped (their done-channels still close, so dependents never
+// deadlock) and runBottomUp returns ctx's error. Components already inside
+// fn run to completion — per-procedure analysis is pure and fast, so
+// cancellation granularity is one component.
+func runBottomUp(ctx context.Context, sccs []*scc, workers int, fn func(*scc)) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || len(sccs) <= 1 {
 		for _, s := range sccs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(s)
 		}
-		return
+		return nil
 	}
 
 	done := make([]chan struct{}, len(sccs))
@@ -31,6 +42,7 @@ func runBottomUp(sccs []*scc, workers int, fn func(*scc)) {
 	var (
 		mu       sync.Mutex
 		panicked any
+		skipped  atomic.Bool
 	)
 	var wg sync.WaitGroup
 	for i, s := range sccs {
@@ -47,8 +59,17 @@ func runBottomUp(sccs []*scc, workers int, fn func(*scc)) {
 			if stop {
 				return
 			}
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				skipped.Store(true)
+				return
+			}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				skipped.Store(true)
+				return
+			}
 			defer func() {
 				if r := recover(); r != nil {
 					mu.Lock()
@@ -65,4 +86,10 @@ func runBottomUp(sccs []*scc, workers int, fn func(*scc)) {
 	if panicked != nil {
 		panic(fmt.Sprintf("driver: analysis worker panicked: %v", panicked))
 	}
+	// Only report cancellation when it actually cost us work: a cancel that
+	// lands after the last component started still yields a complete result.
+	if skipped.Load() {
+		return ctx.Err()
+	}
+	return nil
 }

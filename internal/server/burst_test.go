@@ -1,0 +1,159 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"suifx/internal/driver"
+	"suifx/internal/workloads"
+)
+
+// settleGoroutines waits for the goroutine count to come back to (near) the
+// baseline; with no third-party deps this count assertion stands in for
+// goleak.
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		// A couple of runtime/httptest service goroutines may linger
+		// legitimately; anything more is a leak.
+		if n <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: baseline %d, now %d\n%s", baseline, n, buf)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestServerBurstAnalyze is the acceptance burst: 64 concurrent /v1/analyze
+// requests over the example workloads, all succeeding, no goroutine leaks,
+// cache stats visible afterwards via /v1/stats.
+func TestServerBurstAnalyze(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	cache := driver.NewCache()
+	_, ts := newTestServer(t, Config{Cache: cache, MaxConcurrent: 64})
+	ws := workloads.All()
+
+	const burst = 64
+	errs := make(chan error, burst)
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := ws[i%len(ws)]
+			body, _ := json.Marshal(map[string]any{"workload": w.Name})
+			resp, err := ts.Client().Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- fmt.Errorf("request %d: %v", i, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("request %d (%s): status %d", i, w.Name, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	status, sr := getStats(t, ts)
+	if status != http.StatusOK {
+		t.Fatalf("stats after burst: %d", status)
+	}
+	if sr.Cache.Hits+sr.Cache.Misses != burst {
+		t.Fatalf("cache saw %d requests, want %d", sr.Cache.Hits+sr.Cache.Misses, burst)
+	}
+	if int(sr.Cache.Misses) != len(ws) || sr.Cache.Entries != len(ws) {
+		t.Fatalf("cache = %+v, want exactly one miss/entry per distinct workload (%d)", sr.Cache, len(ws))
+	}
+	if ep := sr.Endpoints["analyze"]; ep.Requests != burst {
+		t.Fatalf("analyze endpoint counted %d requests, want %d", ep.Requests, burst)
+	}
+
+	ts.Client().CloseIdleConnections()
+	ts.Close()
+	settleGoroutines(t, baseline)
+}
+
+// TestServerBurstSheds429: past the concurrency limit the server sheds with
+// 429 instead of queueing, counts the sheds, and keeps serving afterwards.
+func TestServerBurstSheds429(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	cache := driver.NewCache()
+	_, ts := newTestServer(t, Config{Cache: cache, MaxConcurrent: 2})
+
+	// Distinct keys (same slow source, different names) so nothing
+	// coalesces in the cache and every admitted request holds a slot.
+	src := synthSource(40)
+	const burst = 64
+	var wg sync.WaitGroup
+	counts := [3]int{} // 200, 429, other
+	var mu sync.Mutex
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]any{"name": fmt.Sprintf("b%d.f", i), "source": src})
+			resp, err := ts.Client().Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			mu.Lock()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				counts[0]++
+			case http.StatusTooManyRequests:
+				counts[1]++
+			default:
+				counts[2]++
+				t.Errorf("request %d: unexpected status %d", i, resp.StatusCode)
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+
+	if counts[0] == 0 {
+		t.Fatal("no request succeeded under shedding")
+	}
+	if counts[1] == 0 {
+		t.Fatal("64 concurrent requests against limit 2 shed nothing")
+	}
+	status, sr := getStats(t, ts)
+	if status != http.StatusOK {
+		t.Fatalf("stats after shedding: %d", status)
+	}
+	if sr.Shed != int64(counts[1]) {
+		t.Fatalf("shed counter = %d, want %d", sr.Shed, counts[1])
+	}
+
+	// The server still serves normal traffic after the storm.
+	if status, _ := postJSON(t, ts, "/v1/analyze", map[string]any{"workload": workloads.All()[0].Name}); status != http.StatusOK {
+		t.Fatalf("post-shedding analyze: status %d", status)
+	}
+
+	ts.Client().CloseIdleConnections()
+	ts.Close()
+	settleGoroutines(t, baseline)
+}

@@ -1,0 +1,413 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"suifx/internal/driver"
+	"suifx/internal/exec"
+	"suifx/internal/issa"
+	"suifx/internal/liveness"
+	"suifx/internal/modref"
+	"suifx/internal/parallel"
+	"suifx/internal/slice"
+	"suifx/internal/workloads"
+)
+
+// SourceRef names the program a request operates on: inline source or a
+// built-in workload.
+type SourceRef struct {
+	Name     string `json:"name,omitempty"`
+	Source   string `json:"source,omitempty"`
+	Workload string `json:"workload,omitempty"`
+}
+
+func (sr SourceRef) resolve() (name, src string, err error) {
+	switch {
+	case sr.Workload != "":
+		for _, w := range workloads.All() {
+			if w.Name == sr.Workload {
+				return w.Name, w.Source, nil
+			}
+		}
+		return "", "", errf(http.StatusNotFound, "unknown workload %q", sr.Workload)
+	case sr.Source != "":
+		name = sr.Name
+		if name == "" {
+			name = "request.f"
+		}
+		return name, sr.Source, nil
+	default:
+		return "", "", errf(http.StatusBadRequest, `request needs "source" or "workload"`)
+	}
+}
+
+// analyze runs the cached interprocedural analysis, mapping driver errors
+// to API statuses: parse failures are the client's fault (422), context
+// ends pass through for the middleware to turn into 504/499.
+func (s *Server) analyze(ctx context.Context, sr SourceRef, workers int) (*driver.Result, error) {
+	name, src, err := sr.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	res, err := s.cache.AnalyzeCtx(ctx, name, src, driver.Options{Workers: workers})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		return nil, errf(http.StatusUnprocessableEntity, "%v", err)
+	}
+	return res, nil
+}
+
+// --- POST /v1/analyze ---
+
+// AnalyzeRequest asks for the full driver result of one program.
+type AnalyzeRequest struct {
+	SourceRef
+	// Workers overrides the analysis worker pool size for this request.
+	Workers int `json:"workers,omitempty"`
+	// NoReductions disables reduction recognition.
+	NoReductions bool `json:"no_reductions,omitempty"`
+	// Liveness enables the array liveness oracle (Chapter 5).
+	Liveness bool `json:"liveness,omitempty"`
+}
+
+// VarJSON is one variable's classification inside a loop.
+type VarJSON struct {
+	Name        string `json:"name"`
+	Class       string `json:"class"`
+	Reduction   string `json:"reduction,omitempty"`
+	ByAssertion bool   `json:"by_assertion,omitempty"`
+	Reason      string `json:"reason,omitempty"`
+}
+
+// LoopJSON is one loop's parallelization verdict.
+type LoopJSON struct {
+	ID             string    `json:"id"`
+	Lines          [2]int    `json:"lines"`
+	Parallelizable bool      `json:"parallelizable"`
+	Chosen         bool      `json:"chosen"`
+	UnderParallel  bool      `json:"under_parallel,omitempty"`
+	Vars           []VarJSON `json:"vars,omitempty"`
+}
+
+// ModRefJSON is one procedure's mod/ref effect summary.
+type ModRefJSON struct {
+	ModParams  []bool              `json:"mod_params,omitempty"`
+	RefParams  []bool              `json:"ref_params,omitempty"`
+	ModCommons map[string][]string `json:"mod_commons,omitempty"`
+	RefCommons map[string][]string `json:"ref_commons,omitempty"`
+}
+
+// AnalyzeResponse is the full driver result.
+type AnalyzeResponse struct {
+	Name       string                `json:"name"`
+	SourceHash string                `json:"source_hash"`
+	Schedule   []driver.SCC          `json:"schedule"`
+	Summaries  map[string]string     `json:"summaries"`
+	ModRef     map[string]ModRefJSON `json:"modref"`
+	Loops      []LoopJSON            `json:"loops"`
+	Stats      parallel.Stats        `json:"stats"`
+	ElapsedMs  float64               `json:"elapsed_ms"`
+}
+
+func (s *Server) handleAnalyze(ctx context.Context, r *http.Request) (any, error) {
+	var req AnalyzeRequest
+	if err := s.decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := s.analyze(ctx, req.SourceRef, req.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := parallel.Config{UseReductions: !req.NoReductions}
+	if req.Liveness {
+		cfg.DeadAtExit = liveness.Analyze(res.Sum, liveness.Full).Oracle()
+	}
+	par := parallel.ParallelizeWith(res.Sum, cfg)
+
+	resp := &AnalyzeResponse{
+		Name:       res.Prog.Name,
+		SourceHash: res.SourceHash,
+		Schedule:   driver.Schedule(res.Prog),
+		Summaries:  map[string]string{},
+		ModRef:     map[string]ModRefJSON{},
+		Stats:      par.Stats(),
+		ElapsedMs:  float64(time.Since(start)) / 1e6,
+	}
+	for name, t := range res.Sum.ProcSum {
+		resp.Summaries[name] = t.String()
+	}
+	for name, eff := range res.Sum.MR.Effects {
+		resp.ModRef[name] = modRefJSON(eff)
+	}
+	for _, li := range par.Ordered {
+		lo, hi := li.Region.Lines()
+		lj := LoopJSON{
+			ID:             li.ID(),
+			Lines:          [2]int{lo, hi},
+			Parallelizable: li.Dep.Parallelizable,
+			Chosen:         li.Chosen,
+			UnderParallel:  li.UnderParallel,
+		}
+		for _, vr := range li.Dep.Vars {
+			cls := vr.Class.String()
+			if cls == "read-only" || cls == "index" {
+				continue
+			}
+			lj.Vars = append(lj.Vars, VarJSON{
+				Name:        vr.Sym.Name,
+				Class:       cls,
+				Reduction:   vr.RedOp,
+				ByAssertion: vr.ByAssertion,
+				Reason:      vr.Reason,
+			})
+		}
+		resp.Loops = append(resp.Loops, lj)
+	}
+	return resp, nil
+}
+
+func modRefJSON(eff *modref.Effects) ModRefJSON {
+	if eff == nil {
+		return ModRefJSON{}
+	}
+	ranges := func(m map[string][]modref.Range) map[string][]string {
+		if len(m) == 0 {
+			return nil
+		}
+		out := make(map[string][]string, len(m))
+		for blk, rs := range m {
+			strs := make([]string, len(rs))
+			for i, r := range rs {
+				strs[i] = fmtRange(r)
+			}
+			sort.Strings(strs)
+			out[blk] = strs
+		}
+		return out
+	}
+	return ModRefJSON{
+		ModParams:  eff.ModParam,
+		RefParams:  eff.RefParam,
+		ModCommons: ranges(eff.ModCommon),
+		RefCommons: ranges(eff.RefCommon),
+	}
+}
+
+func fmtRange(r modref.Range) string {
+	if r.Lo == r.Hi {
+		return strconv.FormatInt(r.Lo, 10)
+	}
+	return strconv.FormatInt(r.Lo, 10) + ".." + strconv.FormatInt(r.Hi, 10)
+}
+
+// --- POST /v1/slice ---
+
+// SliceRequest asks for an interprocedural slice.
+type SliceRequest struct {
+	SourceRef
+	// Proc is the (case-insensitive) procedure containing the anchor line.
+	Proc string `json:"proc"`
+	// Line is the 1-based source line of the anchor statement.
+	Line int `json:"line"`
+	// Var names the sliced variable use (required for program/data slices).
+	Var string `json:"var,omitempty"`
+	// Kind is "program" (default), "data", or "control".
+	Kind string `json:"kind,omitempty"`
+}
+
+// SliceResponse lists the slice's lines per procedure.
+type SliceResponse struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Procs maps procedure name to the sorted slice lines inside it.
+	Procs map[string][]int `json:"procs"`
+	Size  int              `json:"size"`
+}
+
+func (s *Server) handleSlice(ctx context.Context, r *http.Request) (any, error) {
+	var req SliceRequest
+	if err := s.decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Proc == "" || req.Line <= 0 {
+		return nil, errf(http.StatusBadRequest, `slice needs "proc" and a positive "line"`)
+	}
+	kind := strings.ToLower(req.Kind)
+	if kind == "" {
+		kind = "program"
+	}
+	res, err := s.analyze(ctx, req.SourceRef, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	g := issa.Build(res.Prog)
+	proc := strings.ToUpper(req.Proc)
+	var sres *slice.Result
+	switch kind {
+	case "control":
+		sl := slice.New(g, slice.Config{Kind: slice.Program})
+		sres = sl.ControlSliceOfLine(proc, req.Line)
+	case "program", "data":
+		if req.Var == "" {
+			return nil, errf(http.StatusBadRequest, `%s slice needs "var"`, kind)
+		}
+		k := slice.Program
+		if kind == "data" {
+			k = slice.Data
+		}
+		sl := slice.New(g, slice.Config{Kind: k})
+		sres = sl.OfUse(proc, strings.ToUpper(req.Var), req.Line)
+	default:
+		return nil, errf(http.StatusBadRequest, "unknown slice kind %q (program|data|control)", req.Kind)
+	}
+
+	resp := &SliceResponse{Name: res.Prog.Name, Kind: kind, Procs: map[string][]int{}}
+	for pname, lineSet := range sres.Lines() {
+		lines := make([]int, 0, len(lineSet))
+		for l := range lineSet {
+			lines = append(lines, l)
+		}
+		sort.Ints(lines)
+		resp.Procs[pname] = lines
+		resp.Size += len(lines)
+	}
+	for st := range sres.ExtraStmts {
+		resp.Procs[proc] = appendUniqueSorted(resp.Procs[proc], st.Position().Line)
+	}
+	if resp.Size == 0 && len(sres.ExtraStmts) == 0 {
+		return nil, errf(http.StatusNotFound,
+			"no slice found for %s line %d (check proc, line, and var)", proc, req.Line)
+	}
+	return resp, nil
+}
+
+func appendUniqueSorted(lines []int, l int) []int {
+	i := sort.SearchInts(lines, l)
+	if i < len(lines) && lines[i] == l {
+		return lines
+	}
+	lines = append(lines, 0)
+	copy(lines[i+1:], lines[i:])
+	lines[i] = l
+	return lines
+}
+
+// --- POST /v1/profile ---
+
+// ProfileRequest asks for an execution-based loop profile (§2.5.1).
+type ProfileRequest struct {
+	SourceRef
+	// MaxOps bounds the interpreted execution (default 50M operations).
+	MaxOps int64 `json:"max_ops,omitempty"`
+}
+
+// LoopProfileJSON is one loop's virtual-time record.
+type LoopProfileJSON struct {
+	ID               string  `json:"id"`
+	Proc             string  `json:"proc"`
+	Invocations      int64   `json:"invocations"`
+	Iterations       int64   `json:"iterations"`
+	TotalOps         int64   `json:"total_ops"`
+	OpsPerInvocation float64 `json:"ops_per_invocation"`
+}
+
+// ProfileResponse is the whole-program loop profile, hottest loop first.
+type ProfileResponse struct {
+	Name     string            `json:"name"`
+	TotalOps int64             `json:"total_ops"`
+	Loops    []LoopProfileJSON `json:"loops"`
+}
+
+func (s *Server) handleProfile(ctx context.Context, r *http.Request) (any, error) {
+	var req ProfileRequest
+	if err := s.decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	res, err := s.analyze(ctx, req.SourceRef, 0)
+	if err != nil {
+		return nil, err
+	}
+	maxOps := req.MaxOps
+	if maxOps <= 0 {
+		maxOps = 50_000_000
+	}
+
+	// The interpreter has no cancellation hook, so the run executes on its
+	// own goroutine under the MaxOps budget (which bounds the stragglers a
+	// timeout can strand) while this request observes ctx.
+	type profOut struct {
+		resp *ProfileResponse
+		err  error
+	}
+	out := make(chan profOut, 1)
+	go func() {
+		in := exec.New(res.Prog)
+		in.MaxOps = maxOps
+		prof := exec.NewProfiler(in)
+		if err := in.Run(); err != nil {
+			out <- profOut{err: errf(http.StatusUnprocessableEntity, "execution failed: %v", err)}
+			return
+		}
+		resp := &ProfileResponse{Name: res.Prog.Name, TotalOps: prof.TotalOps()}
+		for _, lp := range prof.Profiles() {
+			resp.Loops = append(resp.Loops, LoopProfileJSON{
+				ID:               lp.ID,
+				Proc:             lp.Proc,
+				Invocations:      lp.Invocations,
+				Iterations:       lp.Iterations,
+				TotalOps:         lp.TotalOps,
+				OpsPerInvocation: lp.OpsPerInvocation(),
+			})
+		}
+		out <- profOut{resp: resp}
+	}()
+	select {
+	case o := <-out:
+		return o.resp, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// --- GET /v1/stats ---
+
+// StatsResponse is the service's observability snapshot.
+type StatsResponse struct {
+	Cache         driver.CacheStats        `json:"cache"`
+	InFlight      int64                    `json:"in_flight"`
+	Shed          int64                    `json:"shed"`
+	Panics        int64                    `json:"panics"`
+	MaxConcurrent int                      `json:"max_concurrent"`
+	UptimeSec     float64                  `json:"uptime_sec"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+func (s *Server) statsSnapshot() *StatsResponse {
+	return &StatsResponse{
+		Cache:         s.cache.Stats(),
+		InFlight:      s.m.inflight.Load(),
+		Shed:          s.m.shed.Load(),
+		Panics:        s.m.panics.Load(),
+		MaxConcurrent: s.cfg.MaxConcurrent,
+		UptimeSec:     time.Since(s.start).Seconds(),
+		Endpoints:     s.m.endpoints(),
+	}
+}
+
+func (s *Server) handleStats(ctx context.Context, r *http.Request) (any, error) {
+	return s.statsSnapshot(), nil
+}

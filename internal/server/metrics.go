@@ -1,0 +1,118 @@
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBounds are the histogram bucket upper bounds; the last bucket is
+// unbounded. Analyses run from microseconds (cache hit) to seconds (cold
+// large program), so the buckets are logarithmic.
+var latencyBounds = [...]time.Duration{
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// endpointMetrics is one endpoint's counters: request/error totals and a
+// fixed-bucket latency histogram. All fields are atomics — the hot path
+// never takes a lock.
+type endpointMetrics struct {
+	requests atomic.Int64
+	errors   atomic.Int64 // responses with status >= 400
+	totalNs  atomic.Int64
+	buckets  [len(latencyBounds) + 1]atomic.Int64
+}
+
+func (e *endpointMetrics) observe(d time.Duration, status int) {
+	e.requests.Add(1)
+	if status >= 400 {
+		e.errors.Add(1)
+	}
+	e.totalNs.Add(int64(d))
+	i := 0
+	for i < len(latencyBounds) && d > latencyBounds[i] {
+		i++
+	}
+	e.buckets[i].Add(1)
+}
+
+// EndpointStats is the JSON snapshot of one endpoint's metrics.
+type EndpointStats struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// AvgMs is mean latency in milliseconds over all requests.
+	AvgMs float64 `json:"avg_ms"`
+	// LatencyBuckets counts requests per histogram bucket; bucket i covers
+	// latencies up to LatencyBounds[i], the final bucket is unbounded.
+	LatencyBuckets []int64  `json:"latency_buckets"`
+	LatencyBounds  []string `json:"latency_bounds"`
+}
+
+type metrics struct {
+	inflight atomic.Int64
+	shed     atomic.Int64
+	panics   atomic.Int64
+	byName   map[string]*endpointMetrics
+}
+
+func newMetrics(endpoints ...string) *metrics {
+	m := &metrics{byName: map[string]*endpointMetrics{}}
+	for _, name := range endpoints {
+		m.byName[name] = &endpointMetrics{}
+	}
+	return m
+}
+
+func (m *metrics) endpoints() map[string]EndpointStats {
+	bounds := make([]string, 0, len(latencyBounds)+1)
+	for _, b := range latencyBounds {
+		bounds = append(bounds, "<="+b.String())
+	}
+	bounds = append(bounds, "+inf")
+	out := make(map[string]EndpointStats, len(m.byName))
+	for name, e := range m.byName {
+		s := EndpointStats{
+			Requests:      e.requests.Load(),
+			Errors:        e.errors.Load(),
+			LatencyBounds: bounds,
+		}
+		for i := range e.buckets {
+			s.LatencyBuckets = append(s.LatencyBuckets, e.buckets[i].Load())
+		}
+		if s.Requests > 0 {
+			s.AvgMs = float64(e.totalNs.Load()) / float64(s.Requests) / 1e6
+		}
+		out[name] = s
+	}
+	return out
+}
+
+// expvar integration: one process-wide "suifxd" var that snapshots the most
+// recently constructed Server. Publish panics on duplicate names, and tests
+// build many Servers, so registration happens exactly once and follows the
+// current server through an atomic pointer.
+var (
+	expvarOnce sync.Once
+	expvarCur  atomic.Pointer[Server]
+)
+
+func publishExpvar(s *Server) {
+	expvarCur.Store(s)
+	expvarOnce.Do(func() {
+		expvar.Publish("suifxd", expvar.Func(func() any {
+			if cur := expvarCur.Load(); cur != nil {
+				return cur.statsSnapshot()
+			}
+			return nil
+		}))
+	})
+}
+
+func expvarHandler() http.Handler { return expvar.Handler() }

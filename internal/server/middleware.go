@@ -1,0 +1,122 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// apiHandler is an endpoint body: it returns a JSON-marshalable response or
+// an error (ideally an *apiError carrying a status).
+type apiHandler func(ctx context.Context, r *http.Request) (any, error)
+
+// apiError is an error with an HTTP status.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) *apiError {
+	return &apiError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// statusClientClosedRequest is nginx's non-standard code for "client went
+// away"; the client never sees it, but it keeps the metrics honest.
+const statusClientClosedRequest = 499
+
+// endpoint wraps an apiHandler with the full middleware stack: panic
+// recovery (500), in-flight/latency metrics, the concurrency-limit
+// semaphore with 429 shedding, and the per-request timeout whose context
+// cancellation the driver observes (504). heavy=false skips the semaphore
+// and timeout (for cheap read-only endpoints like /v1/stats).
+func (s *Server) endpoint(name string, heavy bool, h apiHandler) http.Handler {
+	em := s.m.byName[name]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		status := http.StatusOK
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.m.panics.Add(1)
+				status = http.StatusInternalServerError
+				writeError(w, status, fmt.Sprintf("internal error: %v", rec))
+			}
+			em.observe(time.Since(start), status)
+		}()
+
+		if heavy {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.m.shed.Add(1)
+				status = http.StatusTooManyRequests
+				w.Header().Set("Retry-After", "1")
+				writeError(w, status, "server at concurrency limit; retry")
+				return
+			}
+		}
+		s.m.inflight.Add(1)
+		defer s.m.inflight.Add(-1)
+
+		ctx := r.Context()
+		if heavy && s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+
+		resp, err := h(ctx, r)
+		if err != nil {
+			status = statusOf(err)
+			writeError(w, status, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+}
+
+func statusOf(err error) int {
+	var ae *apiError
+	switch {
+	case errors.As(err, &ae):
+		return ae.status
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg, "status": status})
+}
+
+// decodeJSON reads a size-capped JSON request body. Oversized bodies map to
+// 413, anything unparsable to 400.
+func (s *Server) decodeJSON(r *http.Request, dst any) error {
+	r.Body = http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return errf(http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+		}
+		return errf(http.StatusBadRequest, "malformed JSON request: %v", err)
+	}
+	return nil
+}

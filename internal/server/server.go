@@ -1,0 +1,141 @@
+// Package server turns the driver's interprocedural analyses into a
+// long-running HTTP/JSON service: POST /v1/analyze (full driver result —
+// SCC schedule, procedure summaries, mod/ref effects, parallelization
+// verdicts), POST /v1/slice (interprocedural program/data/control slices),
+// POST /v1/profile (exec-based loop profiles), and GET /v1/stats.
+//
+// Every analysis request flows through a shared driver.Cache, so identical
+// sources — from one client or sixty-four — cost one analysis run. The
+// service protects itself with a concurrency-limit semaphore (excess load
+// is shed with 429), per-request timeouts that cancel queued SCC waves
+// (504), a request body size cap (413), panic-to-500 recovery, and
+// graceful shutdown; counters and latency histograms are exported over
+// /v1/stats, expvar (/debug/vars) and /debug/pprof.
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"suifx/internal/driver"
+)
+
+// Config tunes the service. The zero value is usable: every field falls
+// back to the default documented on it.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default "127.0.0.1:7459").
+	Addr string
+	// MaxConcurrent bounds simultaneously executing heavy requests
+	// (analyze/slice/profile); excess requests are shed with 429.
+	// Default 32.
+	MaxConcurrent int
+	// RequestTimeout cancels a heavy request's context after this long;
+	// the analysis abandons its remaining SCC waves and the client gets
+	// 504. Default 30s.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies; larger sources get 413.
+	// Default 1 MiB.
+	MaxBodyBytes int64
+	// Workers is the per-analysis worker pool size (0 = GOMAXPROCS).
+	Workers int
+	// Cache is the summary cache to serve from (default driver.Shared()).
+	Cache *driver.Cache
+	// ShutdownGrace bounds graceful shutdown (default 5s).
+	ShutdownGrace time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:7459"
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 32
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Cache == nil {
+		c.Cache = driver.Shared()
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 5 * time.Second
+	}
+	return c
+}
+
+// Server is the suifxd analysis service.
+type Server struct {
+	cfg   Config
+	cache *driver.Cache
+	sem   chan struct{}
+	m     *metrics
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// New builds a Server (not yet listening; see Handler and ListenAndServe).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: cfg.Cache,
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		m:     newMetrics("analyze", "slice", "profile", "stats"),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.Handle("POST /v1/analyze", s.endpoint("analyze", true, s.handleAnalyze))
+	s.mux.Handle("POST /v1/slice", s.endpoint("slice", true, s.handleSlice))
+	s.mux.Handle("POST /v1/profile", s.endpoint("profile", true, s.handleProfile))
+	s.mux.Handle("GET /v1/stats", s.endpoint("stats", false, s.handleStats))
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux.Handle("/debug/vars", expvarHandler())
+	publishExpvar(s)
+	return s
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves until ctx is cancelled, then shuts down gracefully:
+// the listener closes, in-flight requests get ShutdownGrace to finish (the
+// per-request timeout already bounds them), and nil is returned for a clean
+// shutdown. ready, when non-nil, is called with the bound address before
+// serving — callers use it to learn the port when Addr ends in ":0".
+func (s *Server) ListenAndServe(ctx context.Context, ready func(addr string)) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	// Request contexts deliberately do not descend from ctx: in-flight
+	// requests should drain within ShutdownGrace, not be cancelled the
+	// instant shutdown begins (each is already bounded by RequestTimeout).
+	hs := &http.Server{Handler: s.Handler()}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		grace, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+		defer cancel()
+		_ = hs.Shutdown(grace)
+	}()
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+	err = hs.Serve(ln)
+	<-done
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
