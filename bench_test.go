@@ -213,7 +213,8 @@ func BenchmarkAnalyzeSuiteCached(b *testing.B) {
 	reportSpeedup(b, seq)
 }
 
-// BenchmarkInterpretMdg measures the interpreter on a profiled workload.
+// BenchmarkInterpretMdg measures the interpreter on a profiled workload,
+// including a fresh parse and lowering per iteration (cold-start cost).
 func BenchmarkInterpretMdg(b *testing.B) {
 	w := workloads.ByName("mdg")
 	for i := 0; i < b.N; i++ {
@@ -223,6 +224,35 @@ func BenchmarkInterpretMdg(b *testing.B) {
 		}
 	}
 }
+
+// ---- Execution engines (BENCH_exec.json) ----
+
+// benchEngine measures one engine's steady-state execution: the program is
+// parsed (and, for the bytecode engine, lowered) once, then each iteration
+// creates a fresh interpreter and runs it end to end. instrumented attaches
+// the profiler and the dynamic dependence analyzer, the configuration the
+// compile-then-run redesign targets.
+func benchEngine(b *testing.B, mode exec.ExecMode, instrumented bool) {
+	prog := workloads.ByName("mdg").Program()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := exec.New(prog)
+		in.Mode = mode
+		if instrumented {
+			exec.NewProfiler(in)
+			exec.NewDynDep(in)
+		}
+		if err := in.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInterpTreeDDA(b *testing.B)       { benchEngine(b, exec.ModeTree, true) }
+func BenchmarkInterpBytecodeDDA(b *testing.B)   { benchEngine(b, exec.ModeBytecode, true) }
+func BenchmarkInterpTreePlain(b *testing.B)     { benchEngine(b, exec.ModeTree, false) }
+func BenchmarkInterpBytecodePlain(b *testing.B) { benchEngine(b, exec.ModeBytecode, false) }
 
 // ---- Ablations (DESIGN.md) ----
 

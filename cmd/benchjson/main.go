@@ -1,0 +1,168 @@
+// Command benchjson converts `go test -bench` output into the JSON format
+// committed as BENCH_exec.json and uploaded by CI's bench-smoke job (see
+// EXPERIMENTS.md for the format).
+//
+// Usage:
+//
+//	go test -bench 'Interp' -benchtime=10x . | benchjson [-label note] [-o out.json]
+//
+// Lines that are not benchmark results (headers, PASS/ok) populate the
+// environment fields or are ignored, so raw `go test` output pipes straight
+// through. When both BenchmarkInterpTreeDDA and BenchmarkInterpBytecodeDDA
+// are present, the derived block records the tree/bytecode ns-per-op and
+// allocs-per-op ratios the acceptance criteria are stated in.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level BENCH_exec.json document.
+type Report struct {
+	Label      string             `json:"label,omitempty"`
+	Date       string             `json:"date"`
+	GoOS       string             `json:"goos,omitempty"`
+	GoArch     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+func main() {
+	label := flag.String("label", "", "free-form label recorded in the report")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep := &Report{Label: *label, Date: time.Now().UTC().Format("2006-01-02")}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		parseLine(rep, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+	derive(rep)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine consumes one line of `go test -bench` output.
+func parseLine(rep *Report, line string) {
+	if v, ok := strings.CutPrefix(line, "goos: "); ok {
+		rep.GoOS = strings.TrimSpace(v)
+		return
+	}
+	if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+		rep.GoArch = strings.TrimSpace(v)
+		return
+	}
+	if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+		rep.CPU = strings.TrimSpace(v)
+		return
+	}
+	if !strings.HasPrefix(line, "Benchmark") {
+		return
+	}
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return
+	}
+	name := f[0]
+	// Strip the -<procs> suffix go test appends to parallel-capable names.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return
+	}
+	b := Benchmark{Name: strings.TrimPrefix(name, "Benchmark"), Iterations: iters}
+	// The rest is value/unit pairs: 123 ns/op, 456 B/op, 7 allocs/op, then
+	// custom metrics like 3.14 speedup_vs_sequential.
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[f[i+1]] = v
+		}
+	}
+	rep.Benchmarks = append(rep.Benchmarks, b)
+}
+
+// derive records the tree-vs-bytecode ratios when both engines appear.
+func derive(rep *Report) {
+	byName := map[string]Benchmark{}
+	for _, b := range rep.Benchmarks {
+		byName[b.Name] = b
+	}
+	pairs := [][2]string{
+		{"InterpTreeDDA", "InterpBytecodeDDA"},
+		{"InterpTreePlain", "InterpBytecodePlain"},
+	}
+	for _, p := range pairs {
+		tree, okT := byName[p[0]]
+		bc, okB := byName[p[1]]
+		if !okT || !okB || bc.NsPerOp == 0 {
+			continue
+		}
+		key := strings.ToLower(strings.TrimPrefix(p[1], "InterpBytecode"))
+		if rep.Derived == nil {
+			rep.Derived = map[string]float64{}
+		}
+		rep.Derived[key+"_ns_ratio"] = round2(tree.NsPerOp / bc.NsPerOp)
+		if bc.AllocsPerOp > 0 {
+			rep.Derived[key+"_alloc_ratio"] = round2(float64(tree.AllocsPerOp) / float64(bc.AllocsPerOp))
+		}
+	}
+}
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }

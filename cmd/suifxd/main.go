@@ -16,6 +16,7 @@
 //
 //	suifxd [-addr host:port] [-timeout 30s] [-max-concurrent 32]
 //	       [-max-body 1048576] [-cache-cap 128] [-workers n]
+//	       [-exec-mode auto|bytecode|tree]
 //
 // SIGINT/SIGTERM shut the server down gracefully: the listener closes,
 // in-flight requests drain, and the process exits 0.
@@ -31,6 +32,7 @@ import (
 	"time"
 
 	"suifx/internal/driver"
+	"suifx/internal/exec"
 	"suifx/internal/server"
 )
 
@@ -41,9 +43,15 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "max request body bytes (larger gets 413)")
 	cacheCap := flag.Int("cache-cap", driver.DefaultCacheCapacity, "summary cache capacity (LRU entries)")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+	execMode := flag.String("exec-mode", "auto", "default /v1/profile execution engine (auto, bytecode or tree)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: suifxd [flags]; see -h")
+		os.Exit(2)
+	}
+	mode, err := exec.ParseMode(*execMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "suifxd:", err)
 		os.Exit(2)
 	}
 
@@ -58,12 +66,13 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		Workers:        *workers,
 		Cache:          cache,
+		ExecMode:       mode,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	err := srv.ListenAndServe(ctx, func(addr string) {
+	err = srv.ListenAndServe(ctx, func(addr string) {
 		// The e2e harness parses this line to find the bound port.
 		fmt.Printf("suifxd: listening on %s\n", addr)
 	})

@@ -4,7 +4,6 @@
 package suifx_test
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -202,43 +201,29 @@ func TestE2ESuifxd(t *testing.T) {
 	bin := buildBinary(t, "suifxd")
 	w := workloads.All()[0]
 
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-timeout", "30s")
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-timeout", "30s", "-exec-mode", "auto")
+	// The daemon's stdout goes to a thread-safe line writer rather than a
+	// StdoutPipe: Wait closes a pipe as soon as the process exits, which can
+	// race a scanner goroutine out of the final output lines. With an
+	// io.Writer, os/exec's own copier drains everything before Wait returns.
+	addrCh := make(chan string, 1)
+	out := &lineWriter{onLine: func(line string) {
+		if _, a, ok := strings.Cut(line, "listening on "); ok {
+			select {
+			case addrCh <- strings.TrimSpace(a):
+			default:
+			}
+		}
+	}}
+	cmd.Stdout = out
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
 	defer cmd.Process.Kill()
+	tail := out.String
 
 	// The daemon prints "suifxd: listening on ADDR" once bound.
-	sc := bufio.NewScanner(stdout)
-	addrCh := make(chan string, 1)
-	var tailMu sync.Mutex
-	var tailBuf strings.Builder
-	tail := func() string {
-		tailMu.Lock()
-		defer tailMu.Unlock()
-		return tailBuf.String()
-	}
-	scanDone := make(chan struct{})
-	go func() {
-		defer close(scanDone)
-		for sc.Scan() {
-			line := sc.Text()
-			tailMu.Lock()
-			tailBuf.WriteString(line + "\n")
-			tailMu.Unlock()
-			if _, a, ok := strings.Cut(line, "listening on "); ok {
-				select {
-				case addrCh <- strings.TrimSpace(a):
-				default:
-				}
-			}
-		}
-	}()
 	var addr string
 	select {
 	case addr = <-addrCh:
@@ -267,8 +252,23 @@ func TestE2ESuifxd(t *testing.T) {
 	if code, _ := post("/v1/analyze", map[string]any{"source": "garbage(("}); code != 422 {
 		t.Fatalf("bad source: status %d, want 422", code)
 	}
+	// A profile over the compiled engine finishes fast even over real
+	// HTTP: the analysis is already cached from the analyze call, and the
+	// instrumented run is a few million bytecode instructions. 10s is a
+	// deliberately generous ceiling for a loaded CI box — the pre-compile
+	// engine took the same workload through tree-walking dispatch.
+	profStart := time.Now()
 	if code, fields := post("/v1/profile", map[string]any{"workload": w.Name}); code != 200 {
 		t.Fatalf("profile: status %d (%s)", code, fields["error"])
+	}
+	if d := time.Since(profStart); d > 10*time.Second {
+		t.Fatalf("profile round-trip took %v, want < 10s", d)
+	}
+	if code, _ := post("/v1/profile", map[string]any{"workload": w.Name, "mode": "tree"}); code != 200 {
+		t.Fatalf("profile mode=tree: status %d", code)
+	}
+	if code, _ := post("/v1/profile", map[string]any{"workload": w.Name, "mode": "jit"}); code != 422 {
+		t.Fatalf("profile mode=jit: status %d, want 422", code)
 	}
 
 	resp, err := http.Get(base + "/v1/stats")
@@ -280,11 +280,25 @@ func TestE2ESuifxd(t *testing.T) {
 			Misses  int64 `json:"misses"`
 			Entries int   `json:"entries"`
 		} `json:"cache"`
+		Exec struct {
+			CompiledProcs int64 `json:"compiled_procs"`
+			Instructions  int64 `json:"instructions_executed"`
+			BytecodeRuns  int64 `json:"bytecode_runs"`
+			TreeRuns      int64 `json:"tree_runs"`
+		} `json:"exec"`
+		ExecMode string `json:"exec_mode"`
 	}
 	err = json.NewDecoder(resp.Body).Decode(&stats)
 	resp.Body.Close()
 	if err != nil || stats.Cache.Misses < 1 || stats.Cache.Entries < 1 {
 		t.Fatalf("stats: err=%v cache=%+v", err, stats.Cache)
+	}
+	if stats.Exec.CompiledProcs < 1 || stats.Exec.Instructions < 1 ||
+		stats.Exec.BytecodeRuns < 1 || stats.Exec.TreeRuns < 1 {
+		t.Fatalf("stats: interpreter counters not populated: %+v", stats.Exec)
+	}
+	if stats.ExecMode != "auto" {
+		t.Fatalf("stats: exec_mode = %q, want auto", stats.ExecMode)
 	}
 
 	// Graceful shutdown on SIGTERM: exit code 0.
@@ -301,8 +315,40 @@ func TestE2ESuifxd(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatalf("daemon did not shut down after SIGTERM; output:\n%s", tail())
 	}
-	<-scanDone
 	if !strings.Contains(tail(), "graceful shutdown complete") {
 		t.Fatalf("missing graceful-shutdown message; output:\n%s", tail())
 	}
+}
+
+// lineWriter is a thread-safe io.Writer that accumulates everything written
+// and calls onLine for each complete line.
+type lineWriter struct {
+	mu     sync.Mutex
+	buf    strings.Builder
+	pend   []byte
+	onLine func(line string)
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf.Write(p)
+	w.pend = append(w.pend, p...)
+	for {
+		i := bytes.IndexByte(w.pend, '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		line := string(w.pend[:i])
+		w.pend = append(w.pend[:0], w.pend[i+1:]...)
+		if w.onLine != nil {
+			w.onLine(line)
+		}
+	}
+}
+
+func (w *lineWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
 }

@@ -1,0 +1,496 @@
+package exec_test
+
+// Differential tests: every program is executed by both engines — the
+// tree-walking interpreter and the bytecode VM — and every observable must
+// match exactly: arena image (bit-for-bit), printed output, the virtual
+// clock, loop profiles, and the dynamic dependence analyzer's counts.
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"suifx/internal/exec"
+	"suifx/internal/minif"
+	"suifx/internal/workloads"
+)
+
+// runResult captures everything observable about one execution.
+type runResult struct {
+	err      string
+	ops      int64
+	output   string
+	arena    []float64
+	profiles string
+	carried  map[string]int64
+	accesses int64
+	deploops string
+}
+
+type runConfig struct {
+	instrument  bool
+	profile     bool
+	sampleEvery int64
+	sampleWarm  int64
+	maxOps      int64
+}
+
+func runEngine(t *testing.T, name, src string, mode exec.ExecMode, cfg runConfig) runResult {
+	t.Helper()
+	prog, err := minif.Parse(name, src)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	in := exec.New(prog)
+	in.Mode = mode
+	in.MaxOps = cfg.maxOps
+	var out bytes.Buffer
+	in.Out = &out
+
+	var prof *exec.Profiler
+	if cfg.profile {
+		prof = exec.NewProfiler(in)
+	}
+	var dyn *exec.DynDep
+	if cfg.instrument {
+		dyn = exec.NewDynDep(in)
+		dyn.SampleEvery = cfg.sampleEvery
+		dyn.SampleWarm = cfg.sampleWarm
+	}
+
+	res := runResult{carried: map[string]int64{}}
+	if err := in.Run(); err != nil {
+		res.err = err.Error()
+	}
+	res.ops = in.Ops()
+	res.output = out.String()
+	res.arena = append([]float64(nil), in.Arena()...)
+	if prof != nil {
+		var sb strings.Builder
+		for _, lp := range prof.Profiles() {
+			fmt.Fprintf(&sb, "%s inv=%d iters=%d ops=%d\n", lp.ID, lp.Invocations, lp.Iterations, lp.TotalOps)
+		}
+		res.profiles = sb.String()
+	}
+	if dyn != nil {
+		res.accesses = dyn.Accesses()
+		res.deploops = strings.Join(dyn.LoopsWithDeps(prog), ",")
+		for _, p := range prog.Procs {
+			for _, l := range p.Loops() {
+				if c := dyn.Carried(l); c != 0 {
+					res.carried[l.ID(p.Name)] = c
+				}
+			}
+		}
+	}
+	return res
+}
+
+// compareRuns asserts two runs observed exactly the same execution.
+// compareOps is skipped for failed runs: within the failing statement the
+// engines may attribute the final partial ticks differently (op totals are
+// only defined at statement/loop boundaries).
+func compareRuns(t *testing.T, label string, tree, bc runResult) {
+	t.Helper()
+	if tree.err != bc.err {
+		t.Fatalf("%s: error mismatch:\n tree: %q\n  vm:  %q", label, tree.err, bc.err)
+	}
+	if tree.err == "" && tree.ops != bc.ops {
+		t.Errorf("%s: ops mismatch: tree %d vs vm %d", label, tree.ops, bc.ops)
+	}
+	if tree.output != bc.output {
+		t.Errorf("%s: output mismatch:\n tree: %q\n  vm:  %q", label, tree.output, bc.output)
+	}
+	if len(tree.arena) != len(bc.arena) {
+		t.Fatalf("%s: arena sizes differ: %d vs %d", label, len(tree.arena), len(bc.arena))
+	}
+	for i := range tree.arena {
+		if math.Float64bits(tree.arena[i]) != math.Float64bits(bc.arena[i]) {
+			t.Fatalf("%s: arena[%d] differs: %v vs %v", label, i, tree.arena[i], bc.arena[i])
+		}
+	}
+	if tree.err == "" && tree.profiles != bc.profiles {
+		t.Errorf("%s: profiles mismatch:\n tree:\n%s vm:\n%s", label, tree.profiles, bc.profiles)
+	}
+	if tree.accesses != bc.accesses {
+		t.Errorf("%s: instrumented accesses mismatch: tree %d vs vm %d", label, tree.accesses, bc.accesses)
+	}
+	if tree.deploops != bc.deploops {
+		t.Errorf("%s: LoopsWithDeps mismatch: tree %q vs vm %q", label, tree.deploops, bc.deploops)
+	}
+	if len(tree.carried) != len(bc.carried) {
+		t.Fatalf("%s: carried map sizes differ: tree %v vs vm %v", label, tree.carried, bc.carried)
+	}
+	for id, c := range tree.carried {
+		if bc.carried[id] != c {
+			t.Errorf("%s: carried[%s] mismatch: tree %d vs vm %d", label, id, c, bc.carried[id])
+		}
+	}
+}
+
+func diffBoth(t *testing.T, label, name, src string, cfg runConfig) {
+	t.Helper()
+	tree := runEngine(t, name, src, exec.ModeTree, cfg)
+	bc := runEngine(t, name, src, exec.ModeBytecode, cfg)
+	compareRuns(t, label, tree, bc)
+}
+
+// TestDifferentialWorkloads runs every benchmark workload through both
+// engines uninstrumented, fully instrumented, and with iteration sampling.
+func TestDifferentialWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			diffBoth(t, w.Name+"/plain", w.Name, w.Source, runConfig{})
+			diffBoth(t, w.Name+"/profile", w.Name, w.Source, runConfig{profile: true})
+			diffBoth(t, w.Name+"/dda", w.Name, w.Source, runConfig{profile: true, instrument: true})
+			diffBoth(t, w.Name+"/sampled", w.Name, w.Source,
+				runConfig{profile: true, instrument: true, sampleEvery: 10})
+		})
+	}
+}
+
+// TestDifferentialErrors checks that runtime failures surface identically:
+// same error text, same arena state, same output up to the fault.
+func TestDifferentialErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+		maxOps    int64
+		wantErr   string
+	}{
+		{
+			name: "bounds",
+			src: `
+      PROGRAM bnds
+      REAL a(10)
+      INTEGER i
+      DO 10 i = 1, 20
+        a(i) = i * 1.0
+10    CONTINUE
+      END
+`,
+			wantErr: "out of bounds",
+		},
+		{
+			name: "divzero",
+			src: `
+      PROGRAM divz
+      REAL x, y
+      INTEGER i
+      x = 4.0
+      DO 10 i = 1, 5
+        y = x / (3.0 - i)
+10    CONTINUE
+      END
+`,
+			wantErr: "division by zero",
+		},
+		{
+			name: "zerostep",
+			src: `
+      PROGRAM zst
+      INTEGER i, n
+      REAL x
+      n = 0
+      DO 10 i = 1, 5, n
+        x = x + 1.0
+10    CONTINUE
+      END
+`,
+			wantErr: "zero DO step",
+		},
+		{
+			name: "sqrtneg",
+			src: `
+      PROGRAM sq
+      REAL x
+      x = SQRT(1.0 - 2.0)
+      END
+`,
+			wantErr: "SQRT of negative",
+		},
+		{
+			name: "budget",
+			src: `
+      PROGRAM bdg
+      REAL s
+      INTEGER i
+      DO 10 i = 1, 100000
+        s = s + i * 2.0
+10    CONTINUE
+      END
+`,
+			maxOps:  1000,
+			wantErr: "operation budget exceeded (1000)",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := runConfig{profile: true, instrument: true, maxOps: tc.maxOps}
+			tree := runEngine(t, tc.name, tc.src, exec.ModeTree, cfg)
+			bc := runEngine(t, tc.name, tc.src, exec.ModeBytecode, cfg)
+			if !strings.Contains(tree.err, tc.wantErr) {
+				t.Fatalf("tree error %q does not contain %q", tree.err, tc.wantErr)
+			}
+			compareRuns(t, tc.name, tree, bc)
+		})
+	}
+}
+
+// ---- random program quick-check ----
+
+// progGen emits random but valid-by-construction MiniF programs: all array
+// indices provably in bounds, no division, no unknown callees — so every
+// generated program must run identically (and successfully) on both
+// engines.
+type progGen struct {
+	r   *rand.Rand
+	sb  strings.Builder
+	lbl int
+}
+
+func (g *progGen) linef(format string, args ...interface{}) {
+	fmt.Fprintf(&g.sb, format+"\n", args...)
+}
+
+func (g *progGen) label() int {
+	g.lbl += 10
+	return g.lbl
+}
+
+// scalar/array pools. Arrays are all REAL a?(30) or 2-D (6,6); loop bounds
+// stay within 1..6 so idx expressions up to i*2+7 and 30-i stay in bounds.
+var scalars = []string{"x", "y", "z", "w"}
+var ivars = []string{"i", "j", "k"}
+var arrs1 = []string{"a1", "a2", "c1"}
+var arrs2 = []string{"b1", "c2"}
+
+func (g *progGen) pick(ss []string) string { return ss[g.r.Intn(len(ss))] }
+
+// idxExpr yields an index expression with value in [1,30] given every loop
+// variable stays in [0,6] (uninitialized integers are 0).
+func (g *progGen) idxExpr() string {
+	v := g.pick(ivars)
+	switch g.r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%d", 1+g.r.Intn(6))
+	case 1:
+		return v + " + 1"
+	case 2:
+		return fmt.Sprintf("%s + %d", v, 1+g.r.Intn(3))
+	case 3:
+		return "30 - " + v
+	case 4:
+		return fmt.Sprintf("%s * 2 + %d", v, 1+g.r.Intn(5))
+	default:
+		return v + " + 1"
+	}
+}
+
+// idx2Expr yields an index in [1,6].
+func (g *progGen) idx2Expr() string {
+	if g.r.Intn(2) == 0 {
+		return fmt.Sprintf("%d", 1+g.r.Intn(6))
+	}
+	return g.pick(ivars) + " + 1"
+}
+
+func (g *progGen) valExpr(depth int) string {
+	if depth > 2 {
+		if g.r.Intn(2) == 0 {
+			return g.pick(scalars)
+		}
+		return fmt.Sprintf("%d.%d", g.r.Intn(9), g.r.Intn(9))
+	}
+	switch g.r.Intn(9) {
+	case 0:
+		return g.pick(scalars)
+	case 1:
+		return fmt.Sprintf("%s(%s)", g.pick(arrs1), g.idxExpr())
+	case 2:
+		return fmt.Sprintf("%s(%s, %s)", g.pick(arrs2), g.idx2Expr(), g.idx2Expr())
+	case 3:
+		return fmt.Sprintf("(%s + %s)", g.valExpr(depth+1), g.valExpr(depth+1))
+	case 4:
+		return fmt.Sprintf("(%s - %s)", g.valExpr(depth+1), g.valExpr(depth+1))
+	case 5:
+		return fmt.Sprintf("(%s * %s)", g.valExpr(depth+1), g.valExpr(depth+1))
+	case 6:
+		in := []string{"ABS", "SIN", "COS", "INT"}[g.r.Intn(4)]
+		return fmt.Sprintf("%s(%s)", in, g.valExpr(depth+1))
+	case 7:
+		return fmt.Sprintf("MIN(%s, %s)", g.valExpr(depth+1), g.valExpr(depth+1))
+	case 8:
+		return fmt.Sprintf("SQRT(ABS(%s))", g.valExpr(depth+1))
+	}
+	return "1.0"
+}
+
+func (g *progGen) condExpr(depth int) string {
+	rel := []string{".LT.", ".LE.", ".GT.", ".GE.", ".EQ.", ".NE."}[g.r.Intn(6)]
+	base := fmt.Sprintf("(%s %s %s)", g.valExpr(2), rel, g.valExpr(2))
+	if depth > 1 {
+		return base
+	}
+	switch g.r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("(%s .AND. %s)", base, g.condExpr(depth+1))
+	case 1:
+		return fmt.Sprintf("(%s .OR. %s)", base, g.condExpr(depth+1))
+	case 2:
+		return "(.NOT. " + base + ")"
+	default:
+		return base
+	}
+}
+
+func (g *progGen) lhs() string {
+	switch g.r.Intn(3) {
+	case 0:
+		return g.pick(scalars)
+	case 1:
+		return fmt.Sprintf("%s(%s)", g.pick(arrs1), g.idxExpr())
+	default:
+		return fmt.Sprintf("%s(%s, %s)", g.pick(arrs2), g.idx2Expr(), g.idx2Expr())
+	}
+}
+
+func (g *progGen) stmt(depth, loopDepth int, inSub bool) {
+	n := g.r.Intn(10)
+	switch {
+	case n < 4 || depth > 3:
+		g.linef("        %s = %s", g.lhs(), g.valExpr(0))
+	case n < 6 && loopDepth < 3:
+		g.loop(depth, loopDepth, inSub)
+	case n < 8:
+		g.linef("        IF %s THEN", g.condExpr(0))
+		for i := 0; i < 1+g.r.Intn(2); i++ {
+			g.stmt(depth+1, loopDepth, inSub)
+		}
+		if g.r.Intn(2) == 0 {
+			g.linef("        ELSE")
+			g.stmt(depth+1, loopDepth, inSub)
+		}
+		g.linef("        ENDIF")
+	case n == 8 && !inSub:
+		g.linef("        CALL sub%d(%s, %s, %s)", 1+g.r.Intn(2),
+			g.pick(arrs1), g.pick(scalars), g.valExpr(1))
+	default:
+		g.linef("        WRITE(*,*) %s", g.valExpr(1))
+	}
+}
+
+func (g *progGen) loop(depth, loopDepth int, inSub bool) {
+	l := g.label()
+	v := ivars[loopDepth]
+	// Bounds keep every induction variable in [0,5] at all times, including
+	// the post-loop overshoot (DO v = 1, 4 leaves v = 5), so index
+	// expressions built from them stay in range.
+	switch g.r.Intn(3) {
+	case 0:
+		g.linef("        DO %d %s = 1, %d", l, v, 2+g.r.Intn(3))
+	case 1:
+		g.linef("        DO %d %s = %d, 1, -1", l, v, 2+g.r.Intn(3))
+	default:
+		g.linef("        DO %d %s = 1, 4, 2", l, v)
+	}
+	for i := 0; i < 1+g.r.Intn(3); i++ {
+		g.stmt(depth+1, loopDepth+1, inSub)
+	}
+	g.linef("%-8dCONTINUE", l)
+}
+
+func (g *progGen) decls() {
+	g.linef("      COMMON /blk/ c1(30), c2(6,6), cs")
+	g.linef("      REAL x, y, z, w, a1(30), a2(30), b1(6,6)")
+	g.linef("      INTEGER i, j, k")
+}
+
+func genProgram(seed int64) string {
+	g := &progGen{r: rand.New(rand.NewSource(seed))}
+	for s := 1; s <= 2; s++ {
+		g.linef("      SUBROUTINE sub%d(p, q, r)", s)
+		g.linef("      REAL p(30), q, r")
+		g.decls()
+		for i := 0; i < 2+g.r.Intn(3); i++ {
+			g.stmt(0, 0, true)
+		}
+		if g.r.Intn(3) == 0 {
+			g.linef("        IF %s THEN", g.condExpr(0))
+			g.linef("        RETURN")
+			g.linef("        ENDIF")
+		}
+		g.linef("        q = q + r + p(1)")
+		g.linef("      END")
+		g.linef("")
+	}
+	g.linef("      PROGRAM rnd")
+	g.decls()
+	g.linef("        x = 1.5")
+	g.linef("        y = 0.25")
+	for i := 0; i < 3+g.r.Intn(5); i++ {
+		g.stmt(0, 0, false)
+	}
+	g.linef("        WRITE(*,*) x, y, z, w, cs")
+	g.linef("      END")
+	return g.sb.String()
+}
+
+// TestDifferentialRandomPrograms quick-checks engine equivalence over
+// generated programs, fully instrumented and with sampling.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 10
+	}
+	for s := 0; s < seeds; s++ {
+		src := genProgram(int64(s))
+		name := fmt.Sprintf("rnd%03d", s)
+		cfg := runConfig{profile: true, instrument: true}
+		if s%3 == 1 {
+			cfg.sampleEvery = 4
+		}
+		if s%3 == 2 {
+			cfg.sampleEvery = 7
+			cfg.sampleWarm = 3
+		}
+		tree := runEngine(t, name, src, exec.ModeTree, cfg)
+		bc := runEngine(t, name, src, exec.ModeBytecode, cfg)
+		if tree.err != "" {
+			t.Fatalf("seed %d: generated program failed on tree engine: %v\n%s", s, tree.err, src)
+		}
+		compareRuns(t, name, tree, bc)
+		if t.Failed() {
+			t.Fatalf("seed %d diverged; source:\n%s", s, src)
+		}
+	}
+}
+
+// TestReportOrderStability is the regression test for report determinism:
+// profile and dependence reports must come back in the same order across
+// repeated runs and across engines.
+func TestReportOrderStability(t *testing.T) {
+	w := workloads.All()[0]
+	cfg := runConfig{profile: true, instrument: true}
+	base := runEngine(t, w.Name, w.Source, exec.ModeBytecode, cfg)
+	if base.profiles == "" {
+		t.Fatal("no profiles produced")
+	}
+	for i := 0; i < 3; i++ {
+		again := runEngine(t, w.Name, w.Source, exec.ModeBytecode, cfg)
+		if again.profiles != base.profiles {
+			t.Fatalf("run %d: profile order changed:\n%s\nvs\n%s", i, again.profiles, base.profiles)
+		}
+		if again.deploops != base.deploops {
+			t.Fatalf("run %d: LoopsWithDeps order changed: %q vs %q", i, again.deploops, base.deploops)
+		}
+	}
+	tree := runEngine(t, w.Name, w.Source, exec.ModeTree, cfg)
+	if tree.profiles != base.profiles || tree.deploops != base.deploops {
+		t.Fatalf("tree/vm report order differs:\n%s\nvs\n%s", tree.profiles, base.profiles)
+	}
+}

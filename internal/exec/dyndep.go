@@ -33,6 +33,7 @@ type DynDep struct {
 	carried   map[*ir.DoLoop]int64 // loop -> dynamic loop-carried flow deps
 	carriedAt map[*ir.DoLoop]map[int64]int64
 	accesses  int64
+	installed bool
 }
 
 type dynLoop struct {
@@ -48,10 +49,25 @@ type writeRec struct {
 	iters []int64
 }
 
-// NewDynDep attaches the dynamic dependence analyzer to an interpreter.
+// NewDynDep attaches the dynamic dependence analyzer to an interpreter
+// (ordered after any previously attached analyzer). Under the tree engine
+// it runs as hook closures over a last-write map; under the bytecode
+// engine the VM drives an epoch-tagged shadow-memory twin (vm.go) and the
+// results are folded in via absorb — the public API answers identically.
 func NewDynDep(in *Interp) *DynDep {
 	d := &DynDep{in: in, lastWrite: map[int64]*writeRec{}, carried: map[*ir.DoLoop]int64{},
 		carriedAt: map[*ir.DoLoop]map[int64]int64{}}
+	in.analyzers = append(in.analyzers, d)
+	return d
+}
+
+// install chains the analyzer into the interpreter's hooks for
+// tree-walking runs (idempotent; called by Run).
+func (d *DynDep) install(in *Interp) {
+	if d.installed {
+		return
+	}
+	d.installed = true
 	prevEnter, prevExit, prevIter := in.Hooks.OnLoopEnter, in.Hooks.OnLoopExit, in.Hooks.OnLoopIter
 	prevRead, prevWrite := in.Hooks.OnRead, in.Hooks.OnWrite
 	in.Hooks.OnLoopEnter = func(proc string, l *ir.DoLoop) {
@@ -88,7 +104,27 @@ func NewDynDep(in *Interp) *DynDep {
 		}
 		d.onWrite(addr, s)
 	}
-	return d
+}
+
+// absorb folds one bytecode run's shadow-memory results into the
+// analyzer's maps.
+func (d *DynDep) absorb(cd *code, st *ddaState) {
+	d.accesses += st.accesses
+	for li, n := range st.carried {
+		if n == 0 {
+			continue
+		}
+		l := cd.loops[li].loop
+		d.carried[l] += n
+		m := d.carriedAt[l]
+		if m == nil {
+			m = map[int64]int64{}
+			d.carriedAt[l] = m
+		}
+		for addr, c := range st.carriedAt[li] {
+			m[addr] += c
+		}
+	}
 }
 
 func (d *DynDep) sampleIter(iter int64) bool {

@@ -1,18 +1,62 @@
-// Package exec executes MiniF programs: a tree-walking interpreter over a
-// flat memory arena, with instrumentation hooks that implement the paper's
-// Execution Analyzers (§2.5) — the Loop Profile Analyzer and the Dynamic
-// Dependence Analyzer — and a deterministic virtual-time (operation count)
-// clock the machine cost models consume.
+// Package exec executes MiniF programs with two interchangeable engines —
+// a compile-then-run bytecode VM (the default) and the original
+// tree-walking interpreter — over a flat memory arena, with
+// instrumentation that implements the paper's Execution Analyzers (§2.5):
+// the Loop Profile Analyzer and the Dynamic Dependence Analyzer. Both
+// engines share a deterministic virtual-time (operation count) clock the
+// machine cost models consume, and produce byte-identical results; the
+// tree-walker is kept for differential testing and for parallel-plan
+// execution.
 package exec
 
 import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 
 	"suifx/internal/ir"
 )
+
+// ExecMode selects the execution engine.
+type ExecMode int
+
+const (
+	// ModeAuto follows the package-level DefaultMode.
+	ModeAuto ExecMode = iota
+	// ModeBytecode compiles the program once and runs the flat instruction
+	// stream (falls back to the tree-walker for parallel plans and
+	// user-installed hooks, which the VM does not model).
+	ModeBytecode
+	// ModeTree forces the original tree-walking interpreter.
+	ModeTree
+)
+
+// ParseMode maps a user-facing engine name to an ExecMode. Accepts
+// "bytecode", "tree", "auto" and "" (auto).
+func ParseMode(s string) (ExecMode, error) {
+	switch s {
+	case "", "auto":
+		return ModeAuto, nil
+	case "bytecode":
+		return ModeBytecode, nil
+	case "tree":
+		return ModeTree, nil
+	}
+	return ModeAuto, fmt.Errorf("exec: unknown mode %q (want auto, bytecode or tree)", s)
+}
+
+func (m ExecMode) String() string {
+	switch m {
+	case ModeBytecode:
+		return "bytecode"
+	case ModeTree:
+		return "tree"
+	}
+	return "auto"
+}
+
+// DefaultMode is the engine used by interpreters in ModeAuto.
+var DefaultMode = ModeBytecode
 
 // Ref is a variable binding in a frame: a base address in the arena plus
 // the declared dimensions (nil for scalars). Subarray arguments bind with a
@@ -37,14 +81,26 @@ type Interp struct {
 	Out   io.Writer
 	Hooks Hooks
 
+	// Mode selects the engine for this interpreter (ModeAuto follows
+	// DefaultMode). The tree-walker is used regardless when a parallel plan
+	// is attached or when user hooks are installed.
+	Mode ExecMode
+
 	arena []float64
 	// base maps storage roots: canonical common members and static locals.
+	// Shared read-only with every interpreter over the same program.
 	base     map[*ir.Symbol]int64
 	blockOff map[string]int64
 	ops      int64
-	canon    map[string]*ir.Symbol
 	tempBase int64
 	tempTop  int64
+
+	// analyzers are attached by NewProfiler/NewDynDep. The tree engine
+	// installs them as hook chains; the bytecode engine drives them
+	// natively.
+	analyzers      []analyzer
+	hooksInstalled bool
+	userSetHooks   bool
 
 	// MaxOps aborts runaway executions (0 = unlimited).
 	MaxOps int64
@@ -59,41 +115,26 @@ type Interp struct {
 	inParallel bool
 }
 
-// New allocates an interpreter with all static storage (commons and locals).
+// analyzer is an execution analyzer (Profiler or DynDep) attached to an
+// interpreter. install wires it into the tree-walker's hook chain; the
+// bytecode engine recognizes the concrete types and drives them natively.
+type analyzer interface {
+	install(in *Interp)
+}
+
+// New allocates an interpreter with all static storage (commons and
+// locals). The arena layout is computed once per program and shared.
 func New(prog *ir.Program) *Interp {
-	in := &Interp{
+	lay := loweredOf(prog).lay
+	return &Interp{
 		Prog:     prog,
 		Out:      io.Discard,
-		base:     map[*ir.Symbol]int64{},
-		blockOff: map[string]int64{},
-		canon:    map[string]*ir.Symbol{},
+		base:     lay.base,
+		blockOff: lay.blockOff,
+		arena:    make([]float64, lay.size),
+		tempBase: lay.tempBase,
+		tempTop:  lay.tempBase,
 	}
-	// Commons first: one block of storage per common block.
-	names := make([]string, 0, len(prog.Commons))
-	for n := range prog.Commons {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		in.blockOff[n] = int64(len(in.arena))
-		in.arena = append(in.arena, make([]float64, prog.Commons[n].Size)...)
-	}
-	// Static locals (Fortran SAVE semantics).
-	for _, p := range prog.Procs {
-		for _, s := range p.SortedSyms() {
-			if s.Common != "" || s.IsParam {
-				continue
-			}
-			in.base[s] = int64(len(in.arena))
-			in.arena = append(in.arena, make([]float64, s.NElems())...)
-		}
-	}
-	// Scratch area for value arguments (fixed so the arena never reallocates
-	// during execution).
-	in.tempBase = int64(len(in.arena))
-	in.tempTop = in.tempBase
-	in.arena = append(in.arena, make([]float64, 1024)...)
-	return in
 }
 
 // Ops returns the virtual-time counter (operations executed so far).
@@ -136,8 +177,138 @@ func (in *Interp) Run() error {
 	if main == nil {
 		return fmt.Errorf("exec: no main program")
 	}
+	if in.useBytecode() {
+		return in.runBytecode()
+	}
+	counters.treeRuns.Add(1)
+	in.installAnalyzers()
 	f := &frame{proc: main, refs: map[*ir.Symbol]Ref{}}
 	_, err := in.execStmts(f, main.Body)
+	return err
+}
+
+// useBytecode decides the engine for this run. Parallel plans, user-set
+// hooks, and duplicate analyzers of one kind fall back to the tree-walker,
+// which models them all.
+func (in *Interp) useBytecode() bool {
+	mode := in.Mode
+	if mode == ModeAuto {
+		mode = DefaultMode
+	}
+	if mode != ModeBytecode || in.plan != nil || in.userHooks() {
+		return false
+	}
+	np, nd := 0, 0
+	for _, a := range in.analyzers {
+		switch a.(type) {
+		case *Profiler:
+			np++
+		case *DynDep:
+			nd++
+		default:
+			return false
+		}
+	}
+	return np <= 1 && nd <= 1
+}
+
+// userHooks reports whether hooks beyond the attached analyzers' own were
+// installed on this interpreter.
+func (in *Interp) userHooks() bool {
+	if in.hooksInstalled {
+		return in.userSetHooks
+	}
+	h := &in.Hooks
+	return h.OnLoopEnter != nil || h.OnLoopIter != nil || h.OnLoopExit != nil ||
+		h.OnRead != nil || h.OnWrite != nil
+}
+
+// installAnalyzers chains the attached analyzers into the hook fields for
+// tree-walking execution (idempotent).
+func (in *Interp) installAnalyzers() {
+	if !in.hooksInstalled {
+		in.userSetHooks = in.userHooks()
+		in.hooksInstalled = true
+	}
+	for _, a := range in.analyzers {
+		a.install(in)
+	}
+}
+
+// runBytecode compiles (or reuses) the program's instruction stream and
+// executes it, then folds the analyzer results back into the attached
+// Profiler/DynDep so their public APIs answer identically to a tree run.
+func (in *Interp) runBytecode() error {
+	var prof *Profiler
+	var dyn *DynDep
+	for _, a := range in.analyzers {
+		switch x := a.(type) {
+		case *Profiler:
+			prof = x
+		case *DynDep:
+			dyn = x
+		}
+	}
+	low := loweredOf(in.Prog)
+	cd := low.codeFor(in.Prog, dyn != nil)
+	counters.bytecodeRuns.Add(1)
+
+	sc, _ := low.vmPool.Get().(*vmScratch)
+	if sc == nil {
+		sc = &vmScratch{}
+	}
+	sc.prepare(cd)
+
+	v := &vm{
+		cd:         cd,
+		mem:        in.arena,
+		out:        in.Out,
+		stack:      sc.stack,
+		paramStore: sc.paramStore,
+		frames:     sc.frames,
+		loopActs:   sc.loopActs,
+		tempTop:    in.tempTop,
+		ops:        in.ops,
+		maxOps:     in.MaxOps,
+	}
+	if v.maxOps <= 0 {
+		v.maxOps = math.MaxInt64
+	}
+	if prof != nil {
+		v.prof = &profState{inv: sc.profInv, iters: sc.profIters, tops: sc.profOps, stack: sc.profStack}
+	}
+	var dst *ddaState
+	if dyn != nil {
+		sh, _ := low.shadowPool.Get().(*ddaShadow)
+		if sh == nil {
+			sh = &ddaShadow{}
+		}
+		sh.reset(len(in.arena))
+		dst = newDDAState(dyn, cd, sh)
+		v.dda = dst
+	}
+	v.events = v.prof != nil || v.dda != nil
+
+	err := v.run()
+	in.ops = v.ops
+
+	if prof != nil {
+		prof.absorb(cd, v.prof)
+	}
+	if dyn != nil {
+		dyn.absorb(cd, dst)
+		dst.sh.overflow = nil
+		low.shadowPool.Put(dst.sh)
+	}
+	// Return the (possibly grown) scratch slices to the pool.
+	sc.stack = v.stack
+	sc.paramStore = v.paramStore
+	sc.frames = v.frames
+	sc.loopActs = v.loopActs
+	if v.prof != nil {
+		sc.profStack = v.prof.stack
+	}
+	low.vmPool.Put(sc)
 	return err
 }
 

@@ -315,10 +315,10 @@ func (in *Interp) workerClone(l *ir.DoLoop, w int) *Interp {
 	return &Interp{
 		Prog:     in.Prog,
 		Out:      in.Out,
+		Mode:     ModeTree, // worker bodies run via execStmts; keep tree-only
 		arena:    in.arena,
 		base:     base,
 		blockOff: in.blockOff,
-		canon:    in.canon,
 		tempBase: in.tempBase,
 		tempTop:  in.tempTop,
 	}

@@ -30,12 +30,15 @@ func (lp *LoopProfile) OpsPerInvocation() float64 {
 }
 
 // Profiler implements the Loop Profile Analyzer: it instruments loop entry
-// and exit and records per-loop virtual time.
+// and exit and records per-loop virtual time. Under the tree engine it runs
+// as a hook chain; under the bytecode engine the VM tallies flat per-loop
+// arrays which are folded in via absorb — the public API answers
+// identically either way.
 type Profiler struct {
-	in      *Interp
-	loops   map[*ir.DoLoop]*LoopProfile
-	stack   []profEntry
-	totalAt int64
+	in        *Interp
+	loops     map[*ir.DoLoop]*LoopProfile
+	stack     []profEntry
+	installed bool
 }
 
 type profEntry struct {
@@ -43,10 +46,21 @@ type profEntry struct {
 	startOp int64
 }
 
-// NewProfiler attaches a profiler to an interpreter (chained after any
-// existing hooks).
+// NewProfiler attaches a profiler to an interpreter (ordered after any
+// previously attached analyzer).
 func NewProfiler(in *Interp) *Profiler {
 	p := &Profiler{in: in, loops: map[*ir.DoLoop]*LoopProfile{}}
+	in.analyzers = append(in.analyzers, p)
+	return p
+}
+
+// install chains the profiler into the interpreter's hooks for
+// tree-walking runs (idempotent; called by Run).
+func (p *Profiler) install(in *Interp) {
+	if p.installed {
+		return
+	}
+	p.installed = true
 	prevEnter, prevExit, prevIter := in.Hooks.OnLoopEnter, in.Hooks.OnLoopExit, in.Hooks.OnLoopIter
 	in.Hooks.OnLoopEnter = func(proc string, l *ir.DoLoop) {
 		if prevEnter != nil {
@@ -77,13 +91,26 @@ func NewProfiler(in *Interp) *Profiler {
 		}
 		top := p.stack[len(p.stack)-1]
 		p.stack = p.stack[:len(p.stack)-1]
-		delta := in.Ops() - top.startOp
-		top.lp.TotalOps += delta
-		if len(p.stack) > 0 {
-			top.lp.NestedOps += 0 // inclusive accounting; parents include us
-		}
+		top.lp.TotalOps += in.Ops() - top.startOp
 	}
-	return p
+}
+
+// absorb folds one bytecode run's per-loop tallies into the profile maps.
+func (p *Profiler) absorb(cd *code, st *profState) {
+	for li := range cd.loops {
+		if st.inv[li] == 0 {
+			continue // never entered: no profile entry, like the tree engine
+		}
+		lm := &cd.loops[li]
+		lp := p.loops[lm.loop]
+		if lp == nil {
+			lp = &LoopProfile{ID: lm.loop.ID(lm.proc), Loop: lm.loop, Proc: lm.proc}
+			p.loops[lm.loop] = lp
+		}
+		lp.Invocations += st.inv[li]
+		lp.Iterations += st.iters[li]
+		lp.TotalOps += st.tops[li]
+	}
 }
 
 // TotalOps returns total program virtual time after the run.

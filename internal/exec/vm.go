@@ -1,0 +1,722 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// The bytecode VM. One flat instruction loop, no interface dispatch, no
+// closures: loop events are nil-checked struct calls and data accesses are
+// only instrumented in the DDA variant of the instruction stream.
+
+// frameRT is one activation record.
+type frameRT struct {
+	retPC     int32
+	pbase     int32 // start of this frame's params in paramStore
+	loopBase  int32 // loopActs depth at entry (for unwinding on return)
+	savedTemp int64
+}
+
+// loopAct is one live DO-loop activation.
+type loopAct struct {
+	li      int32
+	it      int64
+	trips   int64
+	v       float64 // current index value
+	step    float64
+	idxAddr int64
+}
+
+// vmScratch is the pooled, reusable run state for one execution.
+type vmScratch struct {
+	stack      []float64
+	paramStore []int64
+	frames     []frameRT
+	loopActs   []loopAct
+
+	profInv   []int64
+	profIters []int64
+	profOps   []int64
+	profStack []profFrame
+}
+
+func (sc *vmScratch) prepare(cd *code) {
+	if len(sc.stack) < cd.maxStack {
+		sc.stack = make([]float64, cd.maxStack)
+	}
+	nl := len(cd.loops)
+	if len(sc.profInv) < nl {
+		sc.profInv = make([]int64, nl)
+		sc.profIters = make([]int64, nl)
+		sc.profOps = make([]int64, nl)
+	} else {
+		for i := 0; i < nl; i++ {
+			sc.profInv[i], sc.profIters[i], sc.profOps[i] = 0, 0, 0
+		}
+	}
+	sc.paramStore = sc.paramStore[:0]
+	sc.frames = sc.frames[:0]
+	sc.loopActs = sc.loopActs[:0]
+	sc.profStack = sc.profStack[:0]
+}
+
+type profFrame struct {
+	li    int32
+	start int64
+}
+
+// profState mirrors the Profiler's loop events onto flat per-loop arrays;
+// the results are folded into the Profiler after the run.
+type profState struct {
+	inv, iters, tops []int64
+	stack            []profFrame
+}
+
+// dynLevel is one level of the DDA's live loop stack.
+type dynLevel struct {
+	li      int32
+	iter    int64
+	sampled bool
+}
+
+// shadowInline is the number of loop levels stored inline per shadow cell.
+// Static nests in the workloads reach depth 4; deeper dynamic nests (via
+// call chains) spill to an overflow map.
+const shadowInline = 6
+
+const overflowDepth = 255
+
+// shadowRec is the last-write record for one arena cell: the (loop, iter)
+// vector of the loop stack at write time, tagged with an epoch so resetting
+// the whole shadow between runs is O(1).
+type shadowRec struct {
+	epoch uint32
+	depth uint8
+	loops [shadowInline]int32
+	iters [shadowInline]int64
+}
+
+type ovfRec struct {
+	loops []int32
+	iters []int64
+}
+
+// ddaShadow is the pooled shadow memory parallel to the interpreter arena.
+type ddaShadow struct {
+	recs     []shadowRec
+	epoch    uint32
+	overflow map[int64]ovfRec
+}
+
+func (sh *ddaShadow) reset(n int) {
+	if len(sh.recs) < n {
+		sh.recs = make([]shadowRec, n)
+		sh.epoch = 0
+	}
+	sh.epoch++
+	if sh.epoch == 0 { // wrapped: clear tags once, then restart at 1
+		for i := range sh.recs {
+			sh.recs[i].epoch = 0
+		}
+		sh.epoch = 1
+	}
+	sh.overflow = nil
+}
+
+// ddaState is the VM-native Dynamic Dependence Analyzer (shadow-memory
+// rewrite of the tree-walker's map-based hooks, same observable results).
+type ddaState struct {
+	d           *DynDep
+	cd          *code
+	sh          *ddaShadow
+	skip        []bool // per-pc Skip decision, nil when no Skip filter
+	stack       []dynLevel
+	unsampled   int // number of stack levels currently not sampled
+	sampleEvery int64
+	warm        int64
+	accesses    int64
+	carried     []int64
+	carriedAt   []map[int64]int64
+}
+
+func newDDAState(d *DynDep, cd *code, sh *ddaShadow) *ddaState {
+	st := &ddaState{
+		d:           d,
+		cd:          cd,
+		sh:          sh,
+		sampleEvery: d.SampleEvery,
+		warm:        d.SampleWarm,
+		carried:     make([]int64, len(cd.loops)),
+		carriedAt:   make([]map[int64]int64, len(cd.loops)),
+	}
+	if st.warm == 0 {
+		st.warm = 2
+	}
+	if d.Skip != nil {
+		skip := make([]bool, len(cd.ins))
+		for pc, s := range cd.stmtOf {
+			if s != nil && isAccessOp(cd.ins[pc].op) {
+				skip[pc] = d.Skip(s)
+			}
+		}
+		st.skip = skip
+	}
+	return st
+}
+
+func isAccessOp(op opcode) bool { return op >= opLoadGI && op <= opStorePEI }
+
+func (st *ddaState) sample(iter int64) bool {
+	if st.sampleEvery <= 1 {
+		return true
+	}
+	return iter < st.warm || iter%st.sampleEvery == 0
+}
+
+func (st *ddaState) read(addr int64, pc int32) {
+	if st.skip != nil && st.skip[pc] {
+		return
+	}
+	if st.unsampled != 0 {
+		return
+	}
+	st.accesses++
+	r := &st.sh.recs[addr]
+	if r.epoch != st.sh.epoch {
+		return // no write on record this run
+	}
+	var loops []int32
+	var iters []int64
+	if r.depth == overflowDepth {
+		ov := st.sh.overflow[addr]
+		loops, iters = ov.loops, ov.iters
+	} else {
+		loops, iters = r.loops[:r.depth], r.iters[:r.depth]
+	}
+	n := len(st.stack)
+	if len(loops) < n {
+		n = len(loops)
+	}
+	// The dependence is carried by the outermost common loop whose
+	// iteration number differs between writer and reader.
+	for i := 0; i < n; i++ {
+		lv := &st.stack[i]
+		if loops[i] != lv.li {
+			return // different loop instances: not a carried dep we track
+		}
+		if iters[i] != lv.iter {
+			li := lv.li
+			if st.d.IgnoreVar != nil && st.d.IgnoreVar(st.cd.loops[li].loop, addr) {
+				return
+			}
+			st.carried[li]++
+			m := st.carriedAt[li]
+			if m == nil {
+				m = map[int64]int64{}
+				st.carriedAt[li] = m
+			}
+			m[addr]++
+			return
+		}
+	}
+}
+
+func (st *ddaState) write(addr int64, pc int32) {
+	if st.skip != nil && st.skip[pc] {
+		return
+	}
+	if st.unsampled != 0 {
+		return
+	}
+	st.accesses++
+	r := &st.sh.recs[addr]
+	d := len(st.stack)
+	r.epoch = st.sh.epoch
+	if d <= shadowInline {
+		r.depth = uint8(d)
+		for i := 0; i < d; i++ {
+			r.loops[i] = st.stack[i].li
+			r.iters[i] = st.stack[i].iter
+		}
+		return
+	}
+	r.depth = overflowDepth
+	if st.sh.overflow == nil {
+		st.sh.overflow = map[int64]ovfRec{}
+	}
+	loops := make([]int32, d)
+	iters := make([]int64, d)
+	for i := range st.stack {
+		loops[i] = st.stack[i].li
+		iters[i] = st.stack[i].iter
+	}
+	st.sh.overflow[addr] = ovfRec{loops: loops, iters: iters}
+}
+
+// vm executes one compiled program over an Interp's arena.
+type vm struct {
+	cd         *code
+	mem        []float64
+	out        io.Writer
+	stack      []float64
+	paramStore []int64
+	frames     []frameRT
+	loopActs   []loopAct
+	tempTop    int64
+	ops        int64
+	maxOps     int64
+	events     bool
+	prof       *profState
+	dda        *ddaState
+}
+
+func (v *vm) enterLoop(li int32) {
+	// Event order matches the tree-walker's hook chain: profiler first,
+	// then the dependence analyzer.
+	if p := v.prof; p != nil {
+		p.inv[li]++
+		p.stack = append(p.stack, profFrame{li: li, start: v.ops})
+	}
+	if d := v.dda; d != nil {
+		d.stack = append(d.stack, dynLevel{li: li, iter: -1})
+		d.unsampled++ // sampled=false until the first iteration event
+	}
+}
+
+func (v *vm) iterLoop(li int32, it int64) {
+	if p := v.prof; p != nil {
+		p.iters[li]++
+	}
+	if d := v.dda; d != nil {
+		top := &d.stack[len(d.stack)-1]
+		s := d.sample(it)
+		if top.sampled != s {
+			if s {
+				d.unsampled--
+			} else {
+				d.unsampled++
+			}
+			top.sampled = s
+		}
+		top.iter = it
+	}
+}
+
+func (v *vm) exitLoopTop() {
+	v.loopActs = v.loopActs[:len(v.loopActs)-1]
+	if p := v.prof; p != nil {
+		m := len(p.stack) - 1
+		fr := p.stack[m]
+		p.stack = p.stack[:m]
+		p.tops[fr.li] += v.ops - fr.start
+	}
+	if d := v.dda; d != nil {
+		m := len(d.stack) - 1
+		if !d.stack[m].sampled {
+			d.unsampled--
+		}
+		d.stack = d.stack[:m]
+	}
+}
+
+// unwindAll fires exit events for every live loop (innermost first, across
+// frames) — the tree-walker does the same as an error propagates.
+func (v *vm) unwindAll() {
+	for len(v.loopActs) > 0 {
+		if v.events {
+			v.exitLoopTop()
+		} else {
+			v.loopActs = v.loopActs[:len(v.loopActs)-1]
+		}
+	}
+}
+
+func (v *vm) run() error {
+	cd := v.cd
+	ins := cd.ins
+	mem := v.mem
+	stack := v.stack
+	sp := 0
+	pc := cd.entry
+	ops := v.ops
+	maxOps := v.maxOps
+	var nInstr int64
+
+	v.frames = append(v.frames[:0], frameRT{retPC: -1, savedTemp: v.tempTop})
+	var params []int64
+
+	fail := func(err error) error {
+		v.ops = ops
+		v.unwindAll()
+		v.tempTop = v.frames[0].savedTemp // the tree-walker's deferred restores
+		counters.instructions.Add(nInstr)
+		return err
+	}
+
+	for {
+		i := &ins[pc]
+		if i.tick != 0 {
+			ops += int64(i.tick)
+			if ops > maxOps {
+				return fail(fmt.Errorf("exec: operation budget exceeded (%d)", maxOps))
+			}
+		}
+		nInstr++
+		switch i.op {
+		case opNop:
+
+		case opConst:
+			stack[sp] = i.f
+			sp++
+		case opLoadG:
+			stack[sp] = mem[i.a]
+			sp++
+		case opLoadP:
+			stack[sp] = mem[params[i.a]]
+			sp++
+		case opIdx:
+			d := &cd.idx[i.a]
+			iv := int64(math.Round(stack[sp-1]))
+			if iv < d.lo || iv > d.hi {
+				return fail(fmt.Errorf("exec: line %d: index %d out of bounds %d:%d for %s dim %d",
+					d.line, iv, d.lo, d.hi, d.name, d.dim))
+			}
+			stack[sp-1] = float64((iv - d.lo) * d.stride)
+		case opIdxAdd:
+			d := &cd.idx[i.a]
+			iv := int64(math.Round(stack[sp-1]))
+			if iv < d.lo || iv > d.hi {
+				return fail(fmt.Errorf("exec: line %d: index %d out of bounds %d:%d for %s dim %d",
+					d.line, iv, d.lo, d.hi, d.name, d.dim))
+			}
+			sp--
+			stack[sp-1] += float64((iv - d.lo) * d.stride)
+		case opLoadGE:
+			stack[sp-1] = mem[int64(i.a)+int64(stack[sp-1])]
+		case opLoadPE:
+			stack[sp-1] = mem[params[i.a]+int64(stack[sp-1])]
+
+		case opStoreG:
+			sp--
+			mem[i.a] = stack[sp]
+		case opStoreP:
+			sp--
+			mem[params[i.a]] = stack[sp]
+		case opStoreGE:
+			off := int64(stack[sp-1])
+			sp -= 2
+			mem[int64(i.a)+off] = stack[sp]
+		case opStorePE:
+			off := int64(stack[sp-1])
+			sp -= 2
+			mem[params[i.a]+off] = stack[sp]
+
+		case opLoadGI:
+			v.dda.read(int64(i.a), pc)
+			stack[sp] = mem[i.a]
+			sp++
+		case opLoadPI:
+			addr := params[i.a]
+			v.dda.read(addr, pc)
+			stack[sp] = mem[addr]
+			sp++
+		case opLoadGEI:
+			addr := int64(i.a) + int64(stack[sp-1])
+			v.dda.read(addr, pc)
+			stack[sp-1] = mem[addr]
+		case opLoadPEI:
+			addr := params[i.a] + int64(stack[sp-1])
+			v.dda.read(addr, pc)
+			stack[sp-1] = mem[addr]
+		case opStoreGI:
+			v.dda.write(int64(i.a), pc)
+			sp--
+			mem[i.a] = stack[sp]
+		case opStorePI:
+			addr := params[i.a]
+			v.dda.write(addr, pc)
+			sp--
+			mem[addr] = stack[sp]
+		case opStoreGEI:
+			addr := int64(i.a) + int64(stack[sp-1])
+			v.dda.write(addr, pc)
+			sp -= 2
+			mem[addr] = stack[sp]
+		case opStorePEI:
+			addr := params[i.a] + int64(stack[sp-1])
+			v.dda.write(addr, pc)
+			sp -= 2
+			mem[addr] = stack[sp]
+
+		case opNeg:
+			stack[sp-1] = -stack[sp-1]
+		case opNot:
+			if stack[sp-1] == 0 {
+				stack[sp-1] = 1
+			} else {
+				stack[sp-1] = 0
+			}
+		case opBool:
+			if stack[sp-1] != 0 {
+				stack[sp-1] = 1
+			}
+		case opAdd:
+			sp--
+			stack[sp-1] += stack[sp]
+		case opSub:
+			sp--
+			stack[sp-1] -= stack[sp]
+		case opMul:
+			sp--
+			stack[sp-1] *= stack[sp]
+		case opDiv:
+			sp--
+			if stack[sp] == 0 {
+				return fail(fmt.Errorf("exec: line %d: division by zero", i.a))
+			}
+			stack[sp-1] /= stack[sp]
+		case opEQ:
+			sp--
+			if stack[sp-1] == stack[sp] {
+				stack[sp-1] = 1
+			} else {
+				stack[sp-1] = 0
+			}
+		case opNE:
+			sp--
+			if stack[sp-1] != stack[sp] {
+				stack[sp-1] = 1
+			} else {
+				stack[sp-1] = 0
+			}
+		case opLT:
+			sp--
+			if stack[sp-1] < stack[sp] {
+				stack[sp-1] = 1
+			} else {
+				stack[sp-1] = 0
+			}
+		case opLE:
+			sp--
+			if stack[sp-1] <= stack[sp] {
+				stack[sp-1] = 1
+			} else {
+				stack[sp-1] = 0
+			}
+		case opGT:
+			sp--
+			if stack[sp-1] > stack[sp] {
+				stack[sp-1] = 1
+			} else {
+				stack[sp-1] = 0
+			}
+		case opGE:
+			sp--
+			if stack[sp-1] >= stack[sp] {
+				stack[sp-1] = 1
+			} else {
+				stack[sp-1] = 0
+			}
+		case opAndJmp:
+			if stack[sp-1] == 0 {
+				pc = i.a
+				continue
+			}
+			sp--
+		case opOrJmp:
+			if stack[sp-1] != 0 {
+				stack[sp-1] = 1
+				pc = i.a
+				continue
+			}
+			sp--
+		case opIntrin:
+			argc := int(i.b)
+			args := stack[sp-argc : sp]
+			r, err := applyIntrinsicID(i.a, args)
+			if err != nil {
+				return fail(err)
+			}
+			sp -= argc - 1
+			stack[sp-1] = r
+
+		case opJmp:
+			pc = i.a
+			continue
+		case opJZ:
+			sp--
+			if stack[sp] == 0 {
+				pc = i.a
+				continue
+			}
+
+		case opLoopInit:
+			step := stack[sp-1]
+			hi := stack[sp-2]
+			lo := stack[sp-3]
+			sp -= 3
+			lm := &cd.loops[i.a]
+			if step == 0 {
+				return fail(fmt.Errorf("exec: line %d: zero DO step", lm.line))
+			}
+			trips := int64(math.Floor((hi-lo+step)/step + 1e-9))
+			if trips < 0 {
+				trips = 0
+			}
+			var ia int64
+			if lm.idxParam {
+				ia = params[lm.idxOp]
+			} else {
+				ia = int64(lm.idxOp)
+			}
+			v.loopActs = append(v.loopActs, loopAct{li: i.a, trips: trips, v: lo, step: step, idxAddr: ia})
+			if v.events {
+				v.ops = ops
+				v.enterLoop(i.a)
+			}
+		case opLoopHead:
+			act := &v.loopActs[len(v.loopActs)-1]
+			mem[act.idxAddr] = act.v // Fortran leaves the index past the bound
+			if act.it >= act.trips {
+				if v.events {
+					v.ops = ops
+					v.exitLoopTop()
+				} else {
+					v.loopActs = v.loopActs[:len(v.loopActs)-1]
+				}
+				pc = i.b
+				continue
+			}
+			if v.events {
+				v.iterLoop(act.li, act.it)
+			}
+		case opLoopNext:
+			act := &v.loopActs[len(v.loopActs)-1]
+			act.it++
+			act.v += act.step
+			pc = i.a
+			continue
+
+		case opArgAddrG:
+			if i.b == 1 {
+				stack[sp-1] += float64(i.a)
+			} else {
+				stack[sp] = float64(i.a)
+				sp++
+			}
+		case opArgAddrP:
+			base := float64(params[i.a])
+			if i.b == 1 {
+				stack[sp-1] += base
+			} else {
+				stack[sp] = base
+				sp++
+			}
+		case opCall:
+			ci := &cd.calls[i.a]
+			n := len(ci.kinds)
+			argBase := sp - n
+			pbase := len(v.paramStore)
+			savedTemp := v.tempTop
+			for j := 0; j < n; j++ {
+				val := stack[argBase+j]
+				if ci.kinds[j] == argBind {
+					v.paramStore = append(v.paramStore, int64(val))
+				} else {
+					if v.tempTop >= int64(len(mem)) {
+						return fail(fmt.Errorf("exec: line %d: temporary stack overflow", ci.line))
+					}
+					mem[v.tempTop] = val
+					v.paramStore = append(v.paramStore, v.tempTop)
+					v.tempTop++
+				}
+			}
+			sp = argBase
+			v.frames = append(v.frames, frameRT{
+				retPC: pc + 1, pbase: int32(pbase),
+				loopBase: int32(len(v.loopActs)), savedTemp: savedTemp,
+			})
+			params = v.paramStore[pbase:]
+			pc = ci.entry
+			continue
+		case opReturn:
+			fr := v.frames[len(v.frames)-1]
+			for int32(len(v.loopActs)) > fr.loopBase {
+				if v.events {
+					v.ops = ops
+					v.exitLoopTop()
+				} else {
+					v.loopActs = v.loopActs[:len(v.loopActs)-1]
+				}
+			}
+			v.tempTop = fr.savedTemp
+			v.frames = v.frames[:len(v.frames)-1]
+			if len(v.frames) == 0 {
+				v.ops = ops
+				counters.instructions.Add(nInstr)
+				return nil
+			}
+			v.paramStore = v.paramStore[:fr.pbase]
+			outer := v.frames[len(v.frames)-1]
+			params = v.paramStore[outer.pbase:]
+			pc = fr.retPC
+			continue
+
+		case opWrite:
+			n := int(i.a)
+			vals := make([]interface{}, n)
+			for j := 0; j < n; j++ {
+				vals[j] = stack[sp-n+j]
+			}
+			sp -= n
+			fmt.Fprintln(v.out, vals...)
+
+		case opErr:
+			return fail(fmt.Errorf("%s", cd.errs[i.a]))
+
+		default:
+			return fail(fmt.Errorf("exec: bad opcode %d at pc %d", i.op, pc))
+		}
+		pc++
+	}
+}
+
+func applyIntrinsicID(id int32, args []float64) (float64, error) {
+	switch id {
+	case inMIN:
+		v := args[0]
+		for _, a := range args[1:] {
+			if a < v {
+				v = a
+			}
+		}
+		return v, nil
+	case inMAX:
+		v := args[0]
+		for _, a := range args[1:] {
+			if a > v {
+				v = a
+			}
+		}
+		return v, nil
+	case inMOD:
+		return math.Mod(args[0], args[1]), nil
+	case inABS:
+		return math.Abs(args[0]), nil
+	case inSQRT:
+		if args[0] < 0 {
+			return 0, fmt.Errorf("exec: SQRT of negative value")
+		}
+		return math.Sqrt(args[0]), nil
+	case inEXP:
+		return math.Exp(args[0]), nil
+	case inSIN:
+		return math.Sin(args[0]), nil
+	case inCOS:
+		return math.Cos(args[0]), nil
+	case inINT:
+		return math.Trunc(args[0]), nil
+	}
+	return args[0], nil // inFLOAT
+}

@@ -26,9 +26,12 @@ func Fig4_1() *Table {
 		Header: []string{"program", "description", "data set", "lines", "coverage", "granularity", "speedup(8p)"},
 	}
 	model := machine.AlphaServer8400()
-	for _, name := range ch4Apps {
-		w := workloads.ByName(name)
-		ar := runApp(w, ch4Config(w, false))
+	runs := perApp(ch4Apps, func(w *workloads.Workload) *AppRun {
+		return runApp(w, ch4Config(w, false))
+	})
+	for i, name := range ch4Apps {
+		ar := runs[i]
+		w := ar.W
 		mw := ar.MachineWorkload()
 		t.Rows = append(t.Rows, []string{
 			name, w.Description, w.DataSet,
@@ -145,11 +148,7 @@ func Fig4_7() *Table {
 		Title:  "Number of loops requiring user intervention (inter/intra)",
 		Header: []string{"category", "mdg", "arc3d", "hydro", "flo88", "total"},
 	}
-	apps := []string{"mdg", "arc3d", "hydro", "flo88"}
-	cs := make([]loopCounters, len(apps))
-	for i, n := range apps {
-		cs[i] = fig47For(workloads.ByName(n))
-	}
+	cs := perApp(ch4Apps, fig47For)
 	row := func(label string, get func(c loopCounters) [2]int) {
 		cells := []string{label}
 		tot := 0
@@ -191,9 +190,7 @@ func Fig4_8() *Table {
 	}
 	var sum SliceSizes
 	n := 0
-	for _, name := range ch4Apps {
-		w := workloads.ByName(name)
-		rows := sliceSizesFor(w)
+	for _, rows := range perApp(ch4Apps, sliceSizesFor) {
 		for _, r := range rows {
 			loopPct := func(v int) string {
 				if r.LoopLines == 0 {
@@ -365,11 +362,9 @@ func Fig4_9() *Table {
 		Header: []string{"category", "mdg", "arc3d", "hydro", "flo88", "total"},
 	}
 	type counts map[string]int
-	all := map[string]counts{}
 	cats := []string{"parallel arrays", "privatizable arrays", "privatizable scalars",
 		"reduction arrays", "reduction scalars", "user privatizable arrays", "user privatizable scalars"}
-	for _, name := range ch4Apps {
-		w := workloads.ByName(name)
+	all := perApp(ch4Apps, func(w *workloads.Workload) counts {
 		_, sum := cachedAnalysis(w)
 		res := parallel.ParallelizeWith(sum, ch4Config(w, true))
 		c := counts{}
@@ -398,14 +393,14 @@ func Fig4_9() *Table {
 				}
 			}
 		}
-		all[name] = c
-	}
+		return c
+	})
 	for _, cat := range cats {
 		row := []string{cat}
 		tot := 0
-		for _, name := range ch4Apps {
-			row = append(row, itoa(all[name][cat]))
-			tot += all[name][cat]
+		for i := range ch4Apps {
+			row = append(row, itoa(all[i][cat]))
+			tot += all[i][cat]
 		}
 		row = append(row, itoa(tot))
 		t.Rows = append(t.Rows, row)
@@ -422,15 +417,12 @@ func Fig4_10() *Table {
 		Header: []string{"program", "mode", "coverage", "granularity", "speedup(4p)", "speedup(8p)"},
 	}
 	model := machine.AlphaServer8400()
-	for _, name := range ch4Apps {
-		w := workloads.ByName(name)
-		for _, user := range []bool{false, true} {
-			ar := runApp(w, ch4Config(w, user))
-			mw := ar.MachineWorkload()
-			mode := "automatic"
-			if user {
-				mode = "with user input"
-			}
+	runs := perApp(ch4Apps, func(w *workloads.Workload) [2]*AppRun {
+		return [2]*AppRun{runApp(w, ch4Config(w, false)), runApp(w, ch4Config(w, true))}
+	})
+	for i, name := range ch4Apps {
+		for u, mode := range []string{"automatic", "with user input"} {
+			mw := runs[i][u].MachineWorkload()
 			t.Rows = append(t.Rows, []string{
 				name, mode,
 				pct(model.Coverage(mw)),

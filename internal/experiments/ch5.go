@@ -108,12 +108,12 @@ func Fig5_8() *Table {
 		Header: []string{"program", "config", "#dead private", "#new parallel loops", "speedup(4p)"},
 	}
 	model := machine.AlphaServer8400()
-	for _, name := range ch5Apps {
-		w := workloads.ByName(name)
+	rowsPer := perApp(ch5Apps, func(w *workloads.Workload) [][]string {
+		var rows [][]string
 		base := runApp(w, parallel.Config{UseReductions: true})
 		baseStats := base.Par.Stats()
 		baseSpeed := model.Speedup(base.MachineWorkload(), 4)
-		t.Rows = append(t.Rows, []string{name, "base", "0", "0", f1(baseSpeed)})
+		rows = append(rows, []string{w.Name, "base", "0", "0", f1(baseSpeed)})
 		for _, v := range []liveness.Variant{liveness.FlowInsensitive, liveness.OneBit, liveness.Full} {
 			live := liveness.Analyze(base.Sum, v)
 			cfg := parallel.Config{UseReductions: true, DeadAtExit: live.Oracle()}
@@ -124,11 +124,15 @@ func Fig5_8() *Table {
 				newPar = 0
 			}
 			deadPriv := countDeadPrivates(ar, live)
-			t.Rows = append(t.Rows, []string{
-				name, v.String(), itoa(deadPriv), itoa(newPar),
+			rows = append(rows, []string{
+				w.Name, v.String(), itoa(deadPriv), itoa(newPar),
 				f1(model.Speedup(ar.MachineWorkload(), 4)),
 			})
 		}
+		return rows
+	})
+	for _, rows := range rowsPer {
+		t.Rows = append(t.Rows, rows...)
 	}
 	return t
 }

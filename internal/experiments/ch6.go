@@ -102,10 +102,9 @@ func Fig6_5() *Table {
 		Header: []string{"program", "coverage w/o red", "coverage w/ red", "granularity w/ red"},
 	}
 	model := machine.SGIChallenge()
-	for _, name := range ch6Apps {
-		w := workloads.ByName(name)
-		without := runApp(w, parallel.Config{UseReductions: false})
-		with := runApp(w, parallel.Config{UseReductions: true})
+	runs := perApp(ch6Apps, runWithWithoutReductions)
+	for i, name := range ch6Apps {
+		without, with := runs[i][0], runs[i][1]
 		t.Rows = append(t.Rows, []string{
 			name,
 			pct(model.Coverage(without.MachineWorkload())),
@@ -123,10 +122,9 @@ func fig66On(id string, m *machine.Model, procs int) *Table {
 		Title:  "Performance improvement due to reduction analysis on " + m.Name,
 		Header: []string{"program", "speedup w/o red", "speedup w/ red"},
 	}
-	for _, name := range ch6Apps {
-		w := workloads.ByName(name)
-		without := runApp(w, parallel.Config{UseReductions: false})
-		with := runApp(w, parallel.Config{UseReductions: true})
+	runs := perApp(ch6Apps, runWithWithoutReductions)
+	for i, name := range ch6Apps {
+		without, with := runs[i][0], runs[i][1]
 		t.Rows = append(t.Rows, []string{
 			name,
 			f1(m.Speedup(without.MachineWorkload(), procs)),
@@ -136,9 +134,17 @@ func fig66On(id string, m *machine.Model, procs int) *Table {
 	return t
 }
 
+// runWithWithoutReductions profiles one workload under the base compiler
+// with reductions off and on: [0] = without, [1] = with.
+func runWithWithoutReductions(w *workloads.Workload) [2]*AppRun {
+	return [2]*AppRun{
+		runApp(w, parallel.Config{UseReductions: false}),
+		runApp(w, parallel.Config{UseReductions: true}),
+	}
+}
+
 // Fig6_6 reproduces the 4-processor SGI Challenge reduction speedups.
 func Fig6_6() *Table { return fig66On("Fig 6-6", machine.SGIChallenge(), 4) }
 
 // Fig6_7 reproduces the 4-processor SGI Origin reduction speedups.
 func Fig6_7() *Table { return fig66On("Fig 6-7", machine.SGIOrigin(), 4) }
-

@@ -3,6 +3,8 @@ package experiments
 import (
 	"runtime"
 	"sync"
+
+	"suifx/internal/workloads"
 )
 
 // forEach runs fn(0..n-1) on a pool of at most GOMAXPROCS goroutines and
@@ -54,4 +56,18 @@ func forEach(n int, fn func(i int)) {
 	if panicked != nil {
 		panic(panicked)
 	}
+}
+
+// perApp runs f once per named workload on the bounded worker pool and
+// returns the results in input order, so tables built from them keep
+// deterministic row order regardless of scheduling. Independent executions
+// are safe to fan out: the parse and whole-program summary come from the
+// shared driver cache, the compiled bytecode is attached to the shared
+// program and is read-only after lowering, and each run's mutable state
+// (arena, profiler, dependence shadow memory) is private — the VM's
+// per-worker scratch arenas are recycled through the program's pools.
+func perApp[T any](names []string, f func(w *workloads.Workload) T) []T {
+	out := make([]T, len(names))
+	forEach(len(names), func(i int) { out[i] = f(workloads.ByName(names[i])) })
+	return out
 }

@@ -11,6 +11,7 @@ package ir
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Pos is a source position (1-based line number).
@@ -111,6 +112,12 @@ type Program struct {
 	ByName  map[string]*Proc
 	Commons map[string]*CommonBlock
 	Source  []string // original source lines, 1-based at index line-1
+
+	// ExecCache holds the execution engine's lowered form of this program
+	// (arena layout + bytecode), opaque here to avoid a dependency cycle.
+	// It lives on the Program so the cache dies with the IR instead of
+	// leaking through a global table keyed by pointers.
+	ExecCache atomic.Value
 }
 
 // Main returns the main program procedure.

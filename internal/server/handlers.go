@@ -313,6 +313,9 @@ type ProfileRequest struct {
 	SourceRef
 	// MaxOps bounds the interpreted execution (default 50M operations).
 	MaxOps int64 `json:"max_ops,omitempty"`
+	// Mode selects the execution engine: "auto" (default), "bytecode" or
+	// "tree" — the tree-walker is kept for differential debugging.
+	Mode string `json:"mode,omitempty"`
 }
 
 // LoopProfileJSON is one loop's virtual-time record.
@@ -337,6 +340,14 @@ func (s *Server) handleProfile(ctx context.Context, r *http.Request) (any, error
 	if err := s.decodeJSON(r, &req); err != nil {
 		return nil, err
 	}
+	mode := s.cfg.ExecMode
+	if req.Mode != "" {
+		m, err := exec.ParseMode(req.Mode)
+		if err != nil {
+			return nil, errf(http.StatusUnprocessableEntity, "%v", err)
+		}
+		mode = m
+	}
 	res, err := s.analyze(ctx, req.SourceRef, 0)
 	if err != nil {
 		return nil, err
@@ -356,6 +367,7 @@ func (s *Server) handleProfile(ctx context.Context, r *http.Request) (any, error
 	out := make(chan profOut, 1)
 	go func() {
 		in := exec.New(res.Prog)
+		in.Mode = mode
 		in.MaxOps = maxOps
 		prof := exec.NewProfiler(in)
 		if err := in.Run(); err != nil {
@@ -387,13 +399,18 @@ func (s *Server) handleProfile(ctx context.Context, r *http.Request) (any, error
 
 // StatsResponse is the service's observability snapshot.
 type StatsResponse struct {
-	Cache         driver.CacheStats        `json:"cache"`
-	InFlight      int64                    `json:"in_flight"`
-	Shed          int64                    `json:"shed"`
-	Panics        int64                    `json:"panics"`
-	MaxConcurrent int                      `json:"max_concurrent"`
-	UptimeSec     float64                  `json:"uptime_sec"`
-	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	Cache         driver.CacheStats `json:"cache"`
+	InFlight      int64             `json:"in_flight"`
+	Shed          int64             `json:"shed"`
+	Panics        int64             `json:"panics"`
+	MaxConcurrent int               `json:"max_concurrent"`
+	UptimeSec     float64           `json:"uptime_sec"`
+	// Exec reports the execution engine's process-wide counters (compiled
+	// programs/procedures, instructions retired, runs per engine);
+	// ExecMode is the engine /v1/profile uses when requests don't override.
+	Exec      exec.Counters            `json:"exec"`
+	ExecMode  string                   `json:"exec_mode"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
 
 func (s *Server) statsSnapshot() *StatsResponse {
@@ -404,6 +421,8 @@ func (s *Server) statsSnapshot() *StatsResponse {
 		Panics:        s.m.panics.Load(),
 		MaxConcurrent: s.cfg.MaxConcurrent,
 		UptimeSec:     time.Since(s.start).Seconds(),
+		Exec:          exec.ReadCounters(),
+		ExecMode:      s.cfg.ExecMode.String(),
 		Endpoints:     s.m.endpoints(),
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"suifx/internal/driver"
+	"suifx/internal/exec"
 )
 
 // Config tunes the service. The zero value is usable: every field falls
@@ -45,6 +46,9 @@ type Config struct {
 	Cache *driver.Cache
 	// ShutdownGrace bounds graceful shutdown (default 5s).
 	ShutdownGrace time.Duration
+	// ExecMode selects the execution engine for /v1/profile runs unless the
+	// request carries its own "mode" (default auto = the bytecode engine).
+	ExecMode exec.ExecMode
 }
 
 func (c Config) withDefaults() Config {

@@ -412,6 +412,40 @@ func TestServerProfile(t *testing.T) {
 	}
 }
 
+// TestServerProfileMode: the per-request engine knob. Both engines must
+// yield identical profile payloads; unknown modes are a client error.
+func TestServerProfileMode(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	w := workloads.All()[0]
+	var bodies []string
+	for _, mode := range []string{"bytecode", "tree"} {
+		status, fields := postJSON(t, ts, "/v1/profile", map[string]any{"workload": w.Name, "mode": mode})
+		if status != http.StatusOK {
+			t.Fatalf("mode=%s: status = %d (%s)", mode, status, fields["error"])
+		}
+		bodies = append(bodies, string(fields["total_ops"])+string(fields["loops"]))
+	}
+	if bodies[0] != bodies[1] {
+		t.Fatalf("engines disagree over HTTP:\nbytecode: %s\ntree:     %s", bodies[0], bodies[1])
+	}
+	status, fields := postJSON(t, ts, "/v1/profile", map[string]any{"workload": w.Name, "mode": "jit"})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("mode=jit: status = %d (%s), want 422", status, fields["error"])
+	}
+
+	// The stats snapshot exposes the engine counters the runs just bumped.
+	_, sr := getStats(t, ts)
+	if sr.Exec.CompiledProcs < 1 || sr.Exec.Instructions < 1 || sr.Exec.BytecodeRuns < 1 {
+		t.Fatalf("exec counters not visible: %+v", sr.Exec)
+	}
+	if sr.Exec.TreeRuns < 1 {
+		t.Fatalf("tree run not counted: %+v", sr.Exec)
+	}
+	if sr.ExecMode != "auto" {
+		t.Fatalf("exec_mode = %q, want auto", sr.ExecMode)
+	}
+}
+
 // TestServerStats: counters move, the cache is visible, expvar's "suifxd"
 // var carries the same snapshot.
 func TestServerStats(t *testing.T) {
