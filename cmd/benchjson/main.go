@@ -138,7 +138,9 @@ func parseLine(rep *Report, line string) {
 	rep.Benchmarks = append(rep.Benchmarks, b)
 }
 
-// derive records the tree-vs-bytecode ratios when both engines appear.
+// derive records the tree-vs-bytecode ratios when both engines appear, and
+// the cold-vs-incremental session re-analysis speedup when the session
+// benchmarks appear (committed as BENCH_session.json).
 func derive(rep *Report) {
 	byName := map[string]Benchmark{}
 	for _, b := range rep.Benchmarks {
@@ -161,6 +163,17 @@ func derive(rep *Report) {
 		rep.Derived[key+"_ns_ratio"] = round2(tree.NsPerOp / bc.NsPerOp)
 		if bc.AllocsPerOp > 0 {
 			rep.Derived[key+"_alloc_ratio"] = round2(float64(tree.AllocsPerOp) / float64(bc.AllocsPerOp))
+		}
+	}
+	cold, okC := byName["SessionColdAnalyze"]
+	incr, okI := byName["SessionIncrementalReanalyze"]
+	if okC && okI && incr.NsPerOp > 0 {
+		if rep.Derived == nil {
+			rep.Derived = map[string]float64{}
+		}
+		rep.Derived["session_incremental_speedup"] = round2(cold.NsPerOp / incr.NsPerOp)
+		if incr.AllocsPerOp > 0 {
+			rep.Derived["session_incremental_alloc_ratio"] = round2(float64(cold.AllocsPerOp) / float64(incr.AllocsPerOp))
 		}
 	}
 }

@@ -8,11 +8,17 @@
 //
 //	explorer file.f            interactive session on a MiniF file
 //	explorer -workload mdg     session on a built-in workload
+//	explorer -connect URL ...  drive a session hosted by a suifxd server
 //
 // Commands: targets | codeview [loop] | callgraph [proc] | report |
 // slice <proc> <var> <line> | cslice <proc> <line> |
 // assert private <loop> <var> | assert independent <loop> <var> |
 // speedup [procs] | quit
+//
+// With -connect the session state lives in suifxd's session subsystem: the
+// commands map onto the /v1/session routes (targets report assert slice
+// cslice why events quit) and assertions re-analyze incrementally
+// server-side.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 func main() {
 	wl := flag.String("workload", "", "explore a built-in workload")
 	script := flag.String("c", "", "semicolon-separated commands to run non-interactively")
+	connect := flag.String("connect", "", "drive a session on a suifxd server at this base URL")
 	flag.Parse()
 
 	var name, src string
@@ -48,8 +55,13 @@ func main() {
 		}
 		name, src = flag.Arg(0), string(data)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: explorer [-c commands] file.f | -workload name")
+		fmt.Fprintln(os.Stderr, "usage: explorer [-c commands] [-connect url] file.f | -workload name")
 		os.Exit(2)
+	}
+
+	if *connect != "" {
+		runRemote(*connect, name, src, *wl, *script)
+		return
 	}
 
 	prog, err := minif.Parse(name, src)

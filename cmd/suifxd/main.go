@@ -8,15 +8,27 @@
 //	                   mod/ref effects, per-loop parallelization verdicts
 //	POST /v1/slice     interprocedural program/data/control slices
 //	POST /v1/profile   exec-based loop profile (virtual time per loop)
-//	GET  /v1/stats     cache + server counters and latency histograms
+//	GET  /v1/stats     cache + server + session counters and histograms
 //	GET  /debug/vars   expvar (includes the "suifxd" snapshot)
 //	GET  /debug/pprof  standard pprof handlers
+//
+// Interactive sessions (the Guru dialogue, with incremental re-analysis):
+//
+//	POST   /v1/session              create: parse, analyze, profile once
+//	GET    /v1/session/{id}         lifecycle snapshot
+//	DELETE /v1/session/{id}         explicit teardown
+//	GET    /v1/session/{id}/guru    ranked target-loop worklist
+//	POST   /v1/session/{id}/assert  record an assertion; incremental re-rank
+//	POST   /v1/session/{id}/slice   program/data/control slice
+//	GET    /v1/session/{id}/why     per-loop "why (not) parallel" report
+//	GET    /v1/session/{id}/events  the session's dialogue log
 //
 // Usage:
 //
 //	suifxd [-addr host:port] [-timeout 30s] [-max-concurrent 32]
 //	       [-max-body 1048576] [-cache-cap 128] [-workers n]
 //	       [-exec-mode auto|bytecode|tree]
+//	       [-max-sessions 64] [-session-ttl 15m] [-session-sweep 30s]
 //
 // SIGINT/SIGTERM shut the server down gracefully: the listener closes,
 // in-flight requests drain, and the process exits 0.
@@ -44,6 +56,9 @@ func main() {
 	cacheCap := flag.Int("cache-cap", driver.DefaultCacheCapacity, "summary cache capacity (LRU entries)")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 	execMode := flag.String("exec-mode", "auto", "default /v1/profile execution engine (auto, bytecode or tree)")
+	maxSessions := flag.Int("max-sessions", 64, "max live interactive sessions (older sessions evicted LRU)")
+	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle time before a session is evicted")
+	sessionSweep := flag.Duration("session-sweep", 30*time.Second, "session eviction janitor period")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: suifxd [flags]; see -h")
@@ -67,6 +82,9 @@ func main() {
 		Workers:        *workers,
 		Cache:          cache,
 		ExecMode:       mode,
+		MaxSessions:    *maxSessions,
+		SessionTTL:     *sessionTTL,
+		SessionSweep:   *sessionSweep,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -195,13 +195,13 @@ func TestE2EExplorer(t *testing.T) {
 	})
 }
 
-// TestE2ESuifxd boots the daemon on an ephemeral port, round-trips every
-// endpoint over real HTTP, and shuts it down with SIGTERM.
-func TestE2ESuifxd(t *testing.T) {
-	bin := buildBinary(t, "suifxd")
-	w := workloads.All()[0]
-
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-timeout", "30s", "-exec-mode", "auto")
+// startSuifxd boots the daemon on an ephemeral port and returns its base
+// URL, the running command (for signalling), and a tail() accessor over its
+// accumulated output. The caller owns shutdown.
+func startSuifxd(t *testing.T, bin string, extraArgs ...string) (string, *exec.Cmd, func() string) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-timeout", "30s"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
 	// The daemon's stdout goes to a thread-safe line writer rather than a
 	// StdoutPipe: Wait closes a pipe as soon as the process exits, which can
 	// race a scanner goroutine out of the final output lines. With an
@@ -220,17 +220,46 @@ func TestE2ESuifxd(t *testing.T) {
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	defer cmd.Process.Kill()
-	tail := out.String
+	t.Cleanup(func() { cmd.Process.Kill() })
 
 	// The daemon prints "suifxd: listening on ADDR" once bound.
-	var addr string
 	select {
-	case addr = <-addrCh:
+	case addr := <-addrCh:
+		return "http://" + addr, cmd, out.String
 	case <-time.After(30 * time.Second):
-		t.Fatalf("daemon never reported its address; output so far:\n%s", tail())
+		t.Fatalf("daemon never reported its address; output so far:\n%s", out.String())
+		return "", nil, nil
 	}
-	base := "http://" + addr
+}
+
+// stopSuifxd sends SIGTERM and asserts a clean, graceful exit.
+func stopSuifxd(t *testing.T, cmd *exec.Cmd, tail func() string) {
+	t.Helper()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v\noutput:\n%s", err, tail())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not shut down after SIGTERM; output:\n%s", tail())
+	}
+	if !strings.Contains(tail(), "graceful shutdown complete") {
+		t.Fatalf("missing graceful-shutdown message; output:\n%s", tail())
+	}
+}
+
+// TestE2ESuifxd boots the daemon on an ephemeral port, round-trips every
+// endpoint over real HTTP, and shuts it down with SIGTERM.
+func TestE2ESuifxd(t *testing.T) {
+	bin := buildBinary(t, "suifxd")
+	w := workloads.All()[0]
+
+	base, cmd, tail := startSuifxd(t, bin, "-exec-mode", "auto")
 
 	post := func(path string, body any) (int, map[string]json.RawMessage) {
 		t.Helper()
@@ -302,22 +331,162 @@ func TestE2ESuifxd(t *testing.T) {
 	}
 
 	// Graceful shutdown on SIGTERM: exit code 0.
-	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
-		t.Fatal(err)
-	}
-	done := make(chan error, 1)
-	go func() { done <- cmd.Wait() }()
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("daemon exited non-zero after SIGTERM: %v\noutput:\n%s", err, tail())
+	stopSuifxd(t, cmd, tail)
+}
+
+// TestE2ESession drives the full interactive dialogue against a live daemon:
+// create a session on mdg, ask the Guru, make the paper's unlocking
+// assertion (verifying the re-analysis was incremental), slice and explain,
+// read stats, watch the idle-TTL janitor evict the session, and also drive
+// the same server through the explorer binary's -connect mode.
+func TestE2ESession(t *testing.T) {
+	bin := buildBinary(t, "suifxd")
+	base, cmd, tail := startSuifxd(t, bin, "-session-ttl", "2s", "-session-sweep", "100ms")
+
+	do := func(method, path string, body any) (int, map[string]json.RawMessage) {
+		t.Helper()
+		var rd io.Reader
+		if body != nil {
+			data, _ := json.Marshal(body)
+			rd = bytes.NewReader(data)
 		}
-	case <-time.After(30 * time.Second):
-		t.Fatalf("daemon did not shut down after SIGTERM; output:\n%s", tail())
+		req, err := http.NewRequest(method, base+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rd != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		fields := map[string]json.RawMessage{}
+		json.Unmarshal(raw, &fields)
+		return resp.StatusCode, fields
 	}
-	if !strings.Contains(tail(), "graceful shutdown complete") {
-		t.Fatalf("missing graceful-shutdown message; output:\n%s", tail())
+
+	code, fields := do("POST", "/v1/session", map[string]any{"workload": "mdg"})
+	if code != 200 {
+		t.Fatalf("session create: status %d (%s)", code, fields["error"])
 	}
+	var id string
+	json.Unmarshal(fields["id"], &id)
+	if id == "" {
+		t.Fatalf("no session id in %v", fields)
+	}
+
+	code, fields = do("GET", "/v1/session/"+id+"/guru", nil)
+	if code != 200 {
+		t.Fatalf("guru: status %d", code)
+	}
+	var targets []struct {
+		Loop    string `json:"loop"`
+		DynDeps int64  `json:"dyn_deps"`
+	}
+	json.Unmarshal(fields["targets"], &targets)
+	found := false
+	for _, tg := range targets {
+		found = found || (tg.Loop == "INTERF/1000" && tg.DynDeps == 0)
+	}
+	if !found {
+		t.Fatalf("guru worklist %v missing INTERF/1000 with zero dynamic deps", targets)
+	}
+
+	// The unlocking assertion; the reply carries the incremental stats and
+	// the re-ranked worklist.
+	code, fields = do("POST", "/v1/session/"+id+"/assert",
+		map[string]any{"kind": "private", "loop": "INTERF/1000", "var": "RL"})
+	if code != 200 {
+		t.Fatalf("assert: status %d (%s)", code, fields["error"])
+	}
+	var accepted bool
+	json.Unmarshal(fields["accepted"], &accepted)
+	if !accepted {
+		t.Fatalf("private RL assertion rejected: %v", fields)
+	}
+	var re struct {
+		Recomputed int `json:"recomputed"`
+		Reused     int `json:"reused"`
+	}
+	json.Unmarshal(fields["reanalysis"], &re)
+	if re.Recomputed == 0 || re.Reused == 0 {
+		t.Fatalf("reanalysis %+v not incremental over live HTTP", re)
+	}
+
+	if code, fields = do("GET", "/v1/session/"+id+"/why?loop=MDG/2000", nil); code != 200 {
+		t.Fatalf("why: status %d (%s)", code, fields["error"])
+	}
+	if code, fields = do("POST", "/v1/session/"+id+"/slice",
+		map[string]any{"kind": "program", "proc": "INTERF", "var": "RL", "line": 37}); code != 200 {
+		t.Fatalf("slice: status %d (%s)", code, fields["error"])
+	}
+
+	code, fields = do("GET", "/v1/stats", nil)
+	if code != 200 {
+		t.Fatalf("stats: status %d", code)
+	}
+	var sess struct {
+		Live            int   `json:"live"`
+		AssertsAccepted int64 `json:"asserts_accepted"`
+		SummariesReused int64 `json:"summaries_reused"`
+	}
+	json.Unmarshal(fields["sessions"], &sess)
+	if sess.Live != 1 || sess.AssertsAccepted != 1 || sess.SummariesReused == 0 {
+		t.Fatalf("session stats = %+v, want 1 live, 1 accepted, reused summaries", sess)
+	}
+
+	// The explorer binary can drive the same server remotely.
+	exbin := buildBinary(t, "explorer")
+	stdout, stderr, ecode := run(t, exbin, "", "-connect", base, "-workload", "mdg",
+		"-c", "report;targets;assert private INTERF/1000 RL;quit")
+	if ecode != 0 {
+		t.Fatalf("explorer -connect: exit %d, stderr: %s", ecode, stderr)
+	}
+	if !strings.Contains(stdout, "parallelism coverage") || !strings.Contains(stdout, "INTERF/1000") {
+		t.Fatalf("remote explorer output missing report/targets:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "accepted") {
+		t.Fatalf("remote assertion not accepted:\n%s", stdout)
+	}
+
+	// The idle-TTL janitor evicts both sessions (ours and the explorer's,
+	// which quit cleanly and deleted itself) once idle past 2s. Polling the
+	// session itself would touch it and reset its idle timer, so watch the
+	// live count in /v1/stats instead.
+	deadline := time.Now().Add(20 * time.Second)
+	var after struct {
+		Live        int   `json:"live"`
+		EvictedIdle int64 `json:"evicted_idle"`
+	}
+	for {
+		_, fields = do("GET", "/v1/stats", nil)
+		json.Unmarshal(fields["sessions"], &after)
+		if after.Live == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session %s never evicted by the TTL janitor (stats %+v)", id, after)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if after.EvictedIdle < 1 {
+		t.Fatalf("post-eviction stats = %+v, want >=1 idle eviction", after)
+	}
+	if code, _ = do("GET", "/v1/session/"+id, nil); code != 404 {
+		t.Fatalf("evicted session still resolves: status %d", code)
+	}
+
+	// Explicit teardown still works after the janitor: create and DELETE.
+	_, fields = do("POST", "/v1/session", map[string]any{"workload": "mdg"})
+	json.Unmarshal(fields["id"], &id)
+	if code, _ = do("DELETE", "/v1/session/"+id, nil); code != 200 {
+		t.Fatalf("delete: status %d", code)
+	}
+
+	stopSuifxd(t, cmd, tail)
 }
 
 // lineWriter is a thread-safe io.Writer that accumulates everything written

@@ -14,6 +14,7 @@ import (
 	"suifx/internal/driver"
 	"suifx/internal/exec"
 	"suifx/internal/ir"
+	"suifx/internal/issa"
 	"suifx/internal/liveness"
 	"suifx/internal/machine"
 	"suifx/internal/parallel"
@@ -33,6 +34,8 @@ type Options struct {
 	GranularityCutoffMs float64
 	// MaxOps bounds the profiling run.
 	MaxOps int64
+	// Workers bounds the analysis worker pool (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultOptions mirror the paper's setup.
@@ -46,10 +49,21 @@ func DefaultOptions() Options {
 	}
 }
 
-// Session is one Explorer run over a program.
+// Session is one Explorer run over a program. Its pipeline is split into
+// resumable steps — Analyze (static pipeline over the incremental driver),
+// Profile (one instrumented execution) — so a hosting layer (the suifxd
+// session subsystem) can drive, observe, and re-enter each step; NewSession
+// runs them all for the classic one-shot construction.
 type Session struct {
 	Prog *ir.Program
 	Opts Options
+
+	// Inc is the incremental analysis engine: assertion changes dirty only
+	// the containing procedure's SCC and its callers, so interactive
+	// re-analysis recomputes a handful of summaries instead of the program.
+	Inc *driver.Incremental
+	// LastInc reports what the most recent (re-)analysis recomputed.
+	LastInc driver.IncStats
 
 	Sum  *summary.Analysis
 	Live *liveness.Info
@@ -61,27 +75,56 @@ type Session struct {
 	Assertions map[string]parallel.AssertSet
 	// Log records the Guru's narration.
 	Log []string
+
+	graph *issa.Graph // lazy interprocedural SSA graph for slices and Why
 }
 
-// NewSession analyzes and profiles the program.
+// NewSession analyzes and profiles the program: NewUnstarted + Start.
 func NewSession(prog *ir.Program, opts Options) (*Session, error) {
-	if opts.Model == nil {
-		opts.Model = machine.AlphaServer8400()
-	}
-	s := &Session{Prog: prog, Opts: opts, Assertions: map[string]parallel.AssertSet{}}
-	if err := s.Reanalyze(); err != nil {
-		return nil, err
-	}
-	if err := s.profile(); err != nil {
+	s := NewUnstarted(driver.NewIncremental(prog, driver.Options{Workers: opts.Workers}), opts)
+	if err := s.Start(); err != nil {
 		return nil, err
 	}
 	return s, nil
 }
 
-// Reanalyze re-runs the static pipeline with the current assertions. The
-// bottom-up analysis fans out over call-graph SCCs via the driver.
+// NewUnstarted builds a session around an existing incremental analysis
+// (possibly branched off a cached whole-program result) without running any
+// step yet.
+func NewUnstarted(inc *driver.Incremental, opts Options) *Session {
+	if opts.Model == nil {
+		opts.Model = machine.AlphaServer8400()
+	}
+	return &Session{
+		Prog:       inc.Prog(),
+		Opts:       opts,
+		Inc:        inc,
+		Assertions: map[string]parallel.AssertSet{},
+	}
+}
+
+// Start runs the remaining pipeline steps in order.
+func (s *Session) Start() error {
+	if err := s.Analyze(); err != nil {
+		return err
+	}
+	return s.Profile()
+}
+
+// Analyze is the static-pipeline step: it brings the incremental analysis
+// up to date and (re-)parallelizes. On the first call everything dirty is
+// computed; afterwards it is the re-analysis step of the Guru dialogue.
+func (s *Session) Analyze() error { return s.Reanalyze() }
+
+// Reanalyze re-runs the static pipeline with the current assertions,
+// incrementally: only procedures the incremental driver marked dirty are
+// re-summarized, and only loops in those procedures re-run dependence
+// analysis; everything else is reused. LastInc records the recompute/reuse
+// split.
 func (s *Session) Reanalyze() error {
-	s.Sum = driver.Analyze(s.Prog, driver.Options{})
+	sum, st := s.Inc.Analyze()
+	s.Sum = sum
+	s.LastInc = st
 	cfg := parallel.Config{
 		UseReductions: s.Opts.UseReductions,
 		Assertions:    s.Assertions,
@@ -90,13 +133,23 @@ func (s *Session) Reanalyze() error {
 		s.Live = liveness.Analyze(s.Sum, liveness.Full)
 		cfg.DeadAtExit = s.Live.Oracle()
 	}
-	s.Par = parallel.ParallelizeWith(s.Sum, cfg)
+	dirty := st.RecomputedSet()
+	s.Par = parallel.ReparallelizeWith(s.Par, s.Sum, cfg, func(proc string) bool { return dirty[proc] })
 	return nil
 }
 
-// profile runs the program once, sequentially, with the Loop Profile
-// Analyzer and the Dynamic Dependence Analyzer attached (§2.3.1).
-func (s *Session) profile() error {
+// Profile is the dynamic step: it runs the program once, sequentially, with
+// the Loop Profile Analyzer and the Dynamic Dependence Analyzer attached
+// (§2.3.1). It requires Analyze and runs at most once per session — the
+// profile is input-bound, not assertion-bound, so re-analysis never
+// invalidates it.
+func (s *Session) Profile() error {
+	if s.Prof != nil {
+		return nil
+	}
+	if s.Par == nil {
+		return fmt.Errorf("explorer: Profile requires Analyze first")
+	}
 	in := exec.New(s.Prog)
 	in.MaxOps = s.Opts.MaxOps
 	prof := exec.NewProfiler(in)
@@ -109,6 +162,15 @@ func (s *Session) profile() error {
 	}
 	s.in, s.Prof, s.Dyn = in, prof, dyn
 	return nil
+}
+
+// Graph returns the session's interprocedural SSA graph for slicing, built
+// lazily and cached — the program is immutable for the session's lifetime.
+func (s *Session) Graph() *issa.Graph {
+	if s.graph == nil {
+		s.graph = issa.Build(s.Prog)
+	}
+	return s.graph
 }
 
 // ignoreVarFn suppresses dynamic dependences on addresses belonging to
@@ -213,20 +275,42 @@ func (s *Session) CoverageGranularity() (coverage float64, granularityMs float64
 
 // ---- assertion checking (§2.8) ----
 
+// Rejection codes: why the assertion checker refused a user claim.
+const (
+	RejectUnknownLoop  = "unknown-loop"
+	RejectUnknownVar   = "unknown-variable"
+	RejectContradicted = "contradicted"
+)
+
+// RejectError is a structured assertion rejection: the checker refuses the
+// claim and says why, instead of silently dropping it. Code is one of the
+// Reject* constants; Reason is the human-readable explanation.
+type RejectError struct {
+	Code   string
+	Reason string
+}
+
+func (e *RejectError) Error() string { return e.Reason }
+
+func rejectf(code, format string, args ...interface{}) *RejectError {
+	return &RejectError{Code: code, Reason: fmt.Sprintf(format, args...)}
+}
+
 // AssertPrivate records "variable is privatizable in loop" after checking
 // consistency. If the variable is a common-block array also accessed by
 // procedures called from the loop, the assertion is extended automatically
-// with a warning, as the paper describes.
+// with a warning, as the paper describes. The accepted assertion dirties
+// the loop's procedure in the incremental driver and re-analyzes.
 func (s *Session) AssertPrivate(loopID, varName string) ([]string, error) {
 	li := s.Par.LoopByID(loopID)
 	if li == nil {
-		return nil, fmt.Errorf("explorer: unknown loop %s", loopID)
+		return nil, rejectf(RejectUnknownLoop, "explorer: unknown loop %s", loopID)
 	}
 	var warnings []string
 	proc := li.Region.Proc
 	sym := proc.Lookup(varName)
 	if sym == nil {
-		return nil, fmt.Errorf("explorer: no variable %s in %s", varName, proc.Name)
+		return nil, rejectf(RejectUnknownVar, "explorer: no variable %s in %s", varName, proc.Name)
 	}
 	// Cross-procedure consistency: a privatized common array must be
 	// privatized in every called procedure that accesses it.
@@ -252,20 +336,28 @@ func (s *Session) AssertPrivate(loopID, varName string) ([]string, error) {
 	as.Private[varName] = true
 	s.Assertions[loopID] = as
 	s.logf("assert private %s in %s", varName, loopID)
+	s.Inc.Invalidate(proc.Name)
 	return warnings, s.Reanalyze()
 }
 
 // AssertIndependent records "accesses to variable are independent in loop"
 // after checking it against the Dynamic Dependence Analyzer: if a true
-// dependence was observed for the profiled input, the assertion is refuted.
+// dependence was observed for the profiled input, the assertion is refuted
+// with a RejectError rather than silently dropped, and an assertion naming
+// a variable the procedure does not declare is likewise rejected.
 func (s *Session) AssertIndependent(loopID, varName string) error {
 	li := s.Par.LoopByID(loopID)
 	if li == nil {
-		return fmt.Errorf("explorer: unknown loop %s", loopID)
+		return rejectf(RejectUnknownLoop, "explorer: unknown loop %s", loopID)
 	}
-	if lo, hi, ok := s.in.SymRange(li.Region.Proc.Name, varName); ok {
+	proc := li.Region.Proc
+	if proc.Lookup(varName) == nil {
+		return rejectf(RejectUnknownVar, "explorer: no variable %s in %s", varName, proc.Name)
+	}
+	if lo, hi, ok := s.in.SymRange(proc.Name, varName); ok {
 		if n := s.Dyn.CarriedInRange(li.Region.Loop, lo, hi); n > 0 {
-			return fmt.Errorf("explorer: assertion contradicted: %d dynamic flow dependences observed on %s in %s",
+			return rejectf(RejectContradicted,
+				"explorer: assertion contradicted: %d dynamic flow dependences observed on %s in %s",
 				n, varName, loopID)
 		}
 	}
@@ -279,6 +371,7 @@ func (s *Session) AssertIndependent(loopID, varName string) error {
 	as.Independent[varName] = true
 	s.Assertions[loopID] = as
 	s.logf("assert independent %s in %s", varName, loopID)
+	s.Inc.Invalidate(proc.Name)
 	return s.Reanalyze()
 }
 

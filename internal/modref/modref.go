@@ -78,6 +78,18 @@ func (info *Info) EffectsOf(name string) *Effects { return info.Effects[name] }
 // Merge records one procedure's effects in the whole-program map.
 func (info *Info) Merge(name string, eff *Effects) { info.Effects[name] = eff }
 
+// Clone returns an Info with a fresh effects map sharing the per-procedure
+// Effects values (which are immutable after Merge). Merging into the clone
+// never disturbs the original — the hook the incremental driver uses to
+// branch a session's analysis off a cached whole-program result.
+func (info *Info) Clone() *Info {
+	out := &Info{Prog: info.Prog, Effects: make(map[string]*Effects, len(info.Effects))}
+	for k, v := range info.Effects {
+		out.Effects[k] = v
+	}
+	return out
+}
+
 // AnalyzeProc computes one procedure's effects. It reads only the program
 // structure plus the callees' effects via the lookup, so calls for
 // independent procedures may run concurrently.

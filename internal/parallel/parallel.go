@@ -99,6 +99,55 @@ func ParallelizeWith(sum *summary.Analysis, cfg Config) *Result {
 	return res
 }
 
+// ReparallelizeWith is the incremental variant of ParallelizeWith for the
+// interactive loop: dependence analysis is re-run only for loops in
+// procedures where dirty reports true, and every other loop reuses prev's
+// dependence verdict (valid whenever the clean procedures' summaries,
+// liveness facts, and assertions are unchanged — the invalidation contract
+// the driver's Incremental maintains). Loop choice (Chosen/UnderParallel)
+// is global and cheap, so it is always recomputed from scratch. prev == nil
+// or dirty == nil degrades to a full run.
+func ReparallelizeWith(prev *Result, sum *summary.Analysis, cfg Config, dirty func(proc string) bool) *Result {
+	if prev == nil || dirty == nil {
+		return ParallelizeWith(sum, cfg)
+	}
+	if cfg.DeadAtExit == nil {
+		scalarLive := liveness.Analyze(sum, liveness.Full)
+		cfg.DeadAtExit = func(r *region.Region, sym *ir.Symbol) bool {
+			if sym.IsArray() {
+				return false
+			}
+			return scalarLive.DeadAtExit(r, sym)
+		}
+	}
+	res := &Result{
+		Prog:  sum.Prog,
+		Sum:   sum,
+		Cfg:   cfg,
+		Loops: map[*region.Region]*LoopInfo{},
+	}
+	for _, r := range sum.Reg.LoopRegions() {
+		li := &LoopInfo{Region: r}
+		if old := prev.Loops[r]; old != nil && !dirty(r.Proc.Name) {
+			li.Dep = old.Dep
+		} else {
+			opts := depend.Options{
+				UseReductions: cfg.UseReductions,
+				DeadAtExit:    cfg.DeadAtExit,
+			}
+			if as, ok := cfg.Assertions[r.ID()]; ok {
+				opts.AssertPrivate = as.Private
+				opts.AssertIndependent = as.Independent
+			}
+			li.Dep = depend.AnalyzeLoop(sum, r, opts)
+		}
+		res.Loops[r] = li
+		res.Ordered = append(res.Ordered, li)
+	}
+	res.chooseOutermost()
+	return res
+}
+
 // chooseOutermost picks, top-down over the call graph and the loop nests,
 // the outermost parallelizable loops, and marks everything dynamically
 // nested inside them.

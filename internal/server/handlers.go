@@ -6,7 +6,6 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
-	"strings"
 	"time"
 
 	"suifx/internal/driver"
@@ -15,6 +14,7 @@ import (
 	"suifx/internal/liveness"
 	"suifx/internal/modref"
 	"suifx/internal/parallel"
+	"suifx/internal/session"
 	"suifx/internal/slice"
 	"suifx/internal/workloads"
 )
@@ -245,65 +245,32 @@ func (s *Server) handleSlice(ctx context.Context, r *http.Request) (any, error) 
 	if req.Proc == "" || req.Line <= 0 {
 		return nil, errf(http.StatusBadRequest, `slice needs "proc" and a positive "line"`)
 	}
-	kind := strings.ToLower(req.Kind)
-	if kind == "" {
-		kind = "program"
-	}
 	res, err := s.analyze(ctx, req.SourceRef, 0)
 	if err != nil {
 		return nil, err
 	}
 
-	g := issa.Build(res.Prog)
-	proc := strings.ToUpper(req.Proc)
-	var sres *slice.Result
-	switch kind {
-	case "control":
-		sl := slice.New(g, slice.Config{Kind: slice.Program})
-		sres = sl.ControlSliceOfLine(proc, req.Line)
-	case "program", "data":
-		if req.Var == "" {
-			return nil, errf(http.StatusBadRequest, `%s slice needs "var"`, kind)
-		}
-		k := slice.Program
-		if kind == "data" {
-			k = slice.Data
-		}
-		sl := slice.New(g, slice.Config{Kind: k})
-		sres = sl.OfUse(proc, strings.ToUpper(req.Var), req.Line)
-	default:
-		return nil, errf(http.StatusBadRequest, "unknown slice kind %q (program|data|control)", req.Kind)
+	procs, kind, err := slice.Query(issa.Build(res.Prog), req.Kind, req.Proc, req.Var, req.Line)
+	if err != nil {
+		return nil, sliceErr(err)
 	}
-
-	resp := &SliceResponse{Name: res.Prog.Name, Kind: kind, Procs: map[string][]int{}}
-	for pname, lineSet := range sres.Lines() {
-		lines := make([]int, 0, len(lineSet))
-		for l := range lineSet {
-			lines = append(lines, l)
-		}
-		sort.Ints(lines)
-		resp.Procs[pname] = lines
+	resp := &SliceResponse{Name: res.Prog.Name, Kind: kind, Procs: procs}
+	for _, lines := range procs {
 		resp.Size += len(lines)
-	}
-	for st := range sres.ExtraStmts {
-		resp.Procs[proc] = appendUniqueSorted(resp.Procs[proc], st.Position().Line)
-	}
-	if resp.Size == 0 && len(sres.ExtraStmts) == 0 {
-		return nil, errf(http.StatusNotFound,
-			"no slice found for %s line %d (check proc, line, and var)", proc, req.Line)
 	}
 	return resp, nil
 }
 
-func appendUniqueSorted(lines []int, l int) []int {
-	i := sort.SearchInts(lines, l)
-	if i < len(lines) && lines[i] == l {
-		return lines
+// sliceErr maps the slice package's sentinel errors to API statuses.
+func sliceErr(err error) error {
+	switch {
+	case errors.Is(err, slice.ErrBadKind), errors.Is(err, slice.ErrNeedVar):
+		return errf(http.StatusBadRequest, "%v", err)
+	case errors.Is(err, slice.ErrEmpty):
+		return errf(http.StatusNotFound, "%v", err)
+	default:
+		return err
 	}
-	lines = append(lines, 0)
-	copy(lines[i+1:], lines[i:])
-	lines[i] = l
-	return lines
 }
 
 // --- POST /v1/profile ---
@@ -408,14 +375,18 @@ type StatsResponse struct {
 	// Exec reports the execution engine's process-wide counters (compiled
 	// programs/procedures, instructions retired, runs per engine);
 	// ExecMode is the engine /v1/profile uses when requests don't override.
-	Exec      exec.Counters            `json:"exec"`
-	ExecMode  string                   `json:"exec_mode"`
+	Exec     exec.Counters `json:"exec"`
+	ExecMode string        `json:"exec_mode"`
+	// Sessions reports the interactive session subsystem: live/created/
+	// evicted counts plus the aggregate incremental re-analysis split.
+	Sessions  session.Stats            `json:"sessions"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
 
 func (s *Server) statsSnapshot() *StatsResponse {
 	return &StatsResponse{
 		Cache:         s.cache.Stats(),
+		Sessions:      s.sessions.Stats(),
 		InFlight:      s.m.inflight.Load(),
 		Shed:          s.m.shed.Load(),
 		Panics:        s.m.panics.Load(),

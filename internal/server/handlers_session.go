@@ -1,0 +1,206 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"suifx/internal/explorer"
+	"suifx/internal/session"
+)
+
+// --- POST /v1/session ---
+
+// SessionCreateRequest opens an interactive session over one program. The
+// expensive parts — parsing, interprocedural analysis (through the shared
+// cache), one profiling run — happen once here; every later interaction on
+// the session is incremental.
+type SessionCreateRequest struct {
+	SourceRef
+	// Workers overrides the analysis worker pool size for this session.
+	Workers int `json:"workers,omitempty"`
+	// NoReductions / NoLiveness disable the corresponding analyses.
+	NoReductions bool `json:"no_reductions,omitempty"`
+	NoLiveness   bool `json:"no_liveness,omitempty"`
+	// MaxOps bounds the profiling run (default 200M virtual operations).
+	MaxOps int64 `json:"max_ops,omitempty"`
+}
+
+// SessionCreateResponse returns the new session and its initial Guru view.
+type SessionCreateResponse struct {
+	ID   string              `json:"id"`
+	Info session.Info        `json:"info"`
+	Guru *session.GuruReport `json:"guru"`
+}
+
+func (s *Server) handleSessionCreate(ctx context.Context, r *http.Request) (any, error) {
+	var req SessionCreateRequest
+	if err := s.decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	name, src, err := req.SourceRef.resolve()
+	if err != nil {
+		return nil, err
+	}
+	sess, err := s.sessions.Create(ctx, name, src, session.Options{
+		NoReductions: req.NoReductions,
+		NoLiveness:   req.NoLiveness,
+		MaxOps:       req.MaxOps,
+		Workers:      req.Workers,
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		return nil, errf(http.StatusUnprocessableEntity, "%v", err)
+	}
+	return &SessionCreateResponse{ID: sess.ID(), Info: sess.Info(), Guru: sess.Guru()}, nil
+}
+
+// session resolves the {id} path segment to a live session or a 404.
+func (s *Server) session(r *http.Request) (*session.Session, error) {
+	id := r.PathValue("id")
+	sess, ok := s.sessions.Get(id)
+	if !ok {
+		return nil, errf(http.StatusNotFound, "unknown session %q (expired or never created)", id)
+	}
+	return sess, nil
+}
+
+// --- GET /v1/session/{id} ---
+
+func (s *Server) handleSessionGet(ctx context.Context, r *http.Request) (any, error) {
+	sess, err := s.session(r)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Info(), nil
+}
+
+// --- DELETE /v1/session/{id} ---
+
+func (s *Server) handleSessionDelete(ctx context.Context, r *http.Request) (any, error) {
+	id := r.PathValue("id")
+	if !s.sessions.Delete(id) {
+		return nil, errf(http.StatusNotFound, "unknown session %q (expired or never created)", id)
+	}
+	return map[string]any{"deleted": id}, nil
+}
+
+// --- GET /v1/session/{id}/guru ---
+
+func (s *Server) handleSessionGuru(ctx context.Context, r *http.Request) (any, error) {
+	sess, err := s.session(r)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Guru(), nil
+}
+
+// --- POST /v1/session/{id}/assert ---
+
+// SessionAssertRequest is one user assertion (§2.8).
+type SessionAssertRequest struct {
+	// Kind is "private" or "independent".
+	Kind string `json:"kind"`
+	// Loop is the "PROC/LABEL" loop identifier from the Guru list.
+	Loop string `json:"loop"`
+	// Var names the asserted variable.
+	Var string `json:"var"`
+}
+
+func (s *Server) handleSessionAssert(ctx context.Context, r *http.Request) (any, error) {
+	sess, err := s.session(r)
+	if err != nil {
+		return nil, err
+	}
+	var req SessionAssertRequest
+	if err := s.decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Loop == "" || req.Var == "" {
+		return nil, errf(http.StatusBadRequest, `assert needs "loop" and "var"`)
+	}
+	// Checker rejections (unknown loop, unknown variable, contradicted by
+	// the dynamic dependence analyzer) are domain outcomes: the request
+	// succeeded, the assertion did not. Only a malformed kind is the
+	// client's transport-level fault.
+	out, err := sess.Assert(req.Kind, req.Loop, req.Var)
+	if err != nil {
+		if errors.Is(err, session.ErrBadAssertKind) {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+		return nil, err
+	}
+	return out, nil
+}
+
+// --- POST /v1/session/{id}/slice ---
+
+// SessionSliceRequest anchors a slice in the session's program.
+type SessionSliceRequest struct {
+	Proc string `json:"proc"`
+	Line int    `json:"line"`
+	Var  string `json:"var,omitempty"`
+	Kind string `json:"kind,omitempty"`
+}
+
+func (s *Server) handleSessionSlice(ctx context.Context, r *http.Request) (any, error) {
+	sess, err := s.session(r)
+	if err != nil {
+		return nil, err
+	}
+	var req SessionSliceRequest
+	if err := s.decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	if req.Proc == "" || req.Line <= 0 {
+		return nil, errf(http.StatusBadRequest, `slice needs "proc" and a positive "line"`)
+	}
+	rep, err := sess.Slice(req.Kind, req.Proc, req.Var, req.Line)
+	if err != nil {
+		return nil, sliceErr(err)
+	}
+	return rep, nil
+}
+
+// --- GET /v1/session/{id}/why?loop=PROC/LABEL ---
+
+func (s *Server) handleSessionWhy(ctx context.Context, r *http.Request) (any, error) {
+	sess, err := s.session(r)
+	if err != nil {
+		return nil, err
+	}
+	loop := r.URL.Query().Get("loop")
+	if loop == "" {
+		return nil, errf(http.StatusBadRequest, `why needs a "loop" query parameter`)
+	}
+	rep, err := sess.Why(loop)
+	if err != nil {
+		var rej *explorer.RejectError
+		if errors.As(err, &rej) {
+			return nil, errf(http.StatusNotFound, "%s", rej.Reason)
+		}
+		return nil, err
+	}
+	return rep, nil
+}
+
+// --- GET /v1/session/{id}/events?after=N ---
+
+func (s *Server) handleSessionEvents(ctx context.Context, r *http.Request) (any, error) {
+	sess, err := s.session(r)
+	if err != nil {
+		return nil, err
+	}
+	after := int64(0)
+	if q := r.URL.Query().Get("after"); q != "" {
+		n, err := strconv.ParseInt(q, 10, 64)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, `"after" must be an integer sequence number`)
+		}
+		after = n
+	}
+	return map[string]any{"events": sess.Events(after)}, nil
+}

@@ -6,8 +6,71 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 )
+
+// envelope converts non-JSON error responses — the mux's built-in text/plain
+// 404 (unknown route) and 405 (method not allowed) — into the service's
+// uniform JSON error envelope, so every error a client sees has the same
+// {"error": ..., "status": ...} shape. Handler-written responses pass
+// through untouched.
+type envelope struct{ next http.Handler }
+
+func (e envelope) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ew := &envelopeWriter{w: w}
+	e.next.ServeHTTP(ew, r)
+	ew.finish()
+}
+
+type envelopeWriter struct {
+	w       http.ResponseWriter
+	status  int
+	msg     strings.Builder
+	rewrite bool // suppressing a non-JSON error body, envelope pending
+	wrote   bool // headers already forwarded
+}
+
+func (ew *envelopeWriter) Header() http.Header { return ew.w.Header() }
+
+func (ew *envelopeWriter) WriteHeader(status int) {
+	if ew.wrote || ew.rewrite {
+		return
+	}
+	if status >= 400 && ew.w.Header().Get("Content-Type") != "application/json" {
+		ew.status = status
+		ew.rewrite = true
+		// The buffered body replaces this response; its headers no longer fit.
+		ew.w.Header().Del("Content-Length")
+		ew.w.Header().Del("X-Content-Type-Options")
+		return
+	}
+	ew.wrote = true
+	ew.w.WriteHeader(status)
+}
+
+func (ew *envelopeWriter) Write(b []byte) (int, error) {
+	if ew.rewrite {
+		// Built-in error bodies are one short line; keep it as the message.
+		if ew.msg.Len() < 1024 {
+			ew.msg.Write(b)
+		}
+		return len(b), nil
+	}
+	ew.wrote = true
+	return ew.w.Write(b)
+}
+
+func (ew *envelopeWriter) finish() {
+	if !ew.rewrite {
+		return
+	}
+	msg := strings.TrimSpace(ew.msg.String())
+	if msg == "" {
+		msg = http.StatusText(ew.status)
+	}
+	writeError(ew.w, ew.status, msg)
+}
 
 // apiHandler is an endpoint body: it returns a JSON-marshalable response or
 // an error (ideally an *apiError carrying a status).

@@ -2,7 +2,11 @@
 // long-running HTTP/JSON service: POST /v1/analyze (full driver result —
 // SCC schedule, procedure summaries, mod/ref effects, parallelization
 // verdicts), POST /v1/slice (interprocedural program/data/control slices),
-// POST /v1/profile (exec-based loop profiles), and GET /v1/stats.
+// POST /v1/profile (exec-based loop profiles), and GET /v1/stats. The
+// /v1/session routes host the interactive Guru dialogue: a POST creates a
+// stateful session pinning a parsed program and its analysis, and the
+// per-session guru/assert/slice/why/events subroutes drive it with
+// incremental re-analysis on every accepted assertion (internal/session).
 //
 // Every analysis request flows through a shared driver.Cache, so identical
 // sources — from one client or sixty-four — cost one analysis run. The
@@ -22,6 +26,7 @@ import (
 
 	"suifx/internal/driver"
 	"suifx/internal/exec"
+	"suifx/internal/session"
 )
 
 // Config tunes the service. The zero value is usable: every field falls
@@ -49,6 +54,13 @@ type Config struct {
 	// ExecMode selects the execution engine for /v1/profile runs unless the
 	// request carries its own "mode" (default auto = the bytecode engine).
 	ExecMode exec.ExecMode
+	// MaxSessions bounds the interactive session table; creating past the
+	// bound evicts the least recently used session. Default 64.
+	MaxSessions int
+	// SessionTTL evicts sessions idle for this long. Default 15m.
+	SessionTTL time.Duration
+	// SessionSweep is the eviction janitor period. Default 30s.
+	SessionSweep time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -75,22 +87,34 @@ func (c Config) withDefaults() Config {
 
 // Server is the suifxd analysis service.
 type Server struct {
-	cfg   Config
-	cache *driver.Cache
-	sem   chan struct{}
-	m     *metrics
-	mux   *http.ServeMux
-	start time.Time
+	cfg      Config
+	cache    *driver.Cache
+	sessions *session.Manager
+	sem      chan struct{}
+	m        *metrics
+	mux      *http.ServeMux
+	start    time.Time
 }
 
 // New builds a Server (not yet listening; see Handler and ListenAndServe).
+// Callers embedding the Handler directly (tests) must Close the server to
+// stop the session janitor; ListenAndServe does it on the way out.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:   cfg,
 		cache: cfg.Cache,
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
-		m:     newMetrics("analyze", "slice", "profile", "stats"),
+		sessions: session.NewManager(session.Config{
+			MaxSessions: cfg.MaxSessions,
+			IdleTTL:     cfg.SessionTTL,
+			SweepEvery:  cfg.SessionSweep,
+			Cache:       cfg.Cache,
+			Workers:     cfg.Workers,
+		}),
+		sem: make(chan struct{}, cfg.MaxConcurrent),
+		m: newMetrics("analyze", "slice", "profile", "stats",
+			"session_create", "session_get", "session_delete", "session_guru",
+			"session_assert", "session_slice", "session_why", "session_events"),
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
@@ -98,6 +122,14 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/slice", s.endpoint("slice", true, s.handleSlice))
 	s.mux.Handle("POST /v1/profile", s.endpoint("profile", true, s.handleProfile))
 	s.mux.Handle("GET /v1/stats", s.endpoint("stats", false, s.handleStats))
+	s.mux.Handle("POST /v1/session", s.endpoint("session_create", true, s.handleSessionCreate))
+	s.mux.Handle("GET /v1/session/{id}", s.endpoint("session_get", false, s.handleSessionGet))
+	s.mux.Handle("DELETE /v1/session/{id}", s.endpoint("session_delete", false, s.handleSessionDelete))
+	s.mux.Handle("GET /v1/session/{id}/guru", s.endpoint("session_guru", false, s.handleSessionGuru))
+	s.mux.Handle("POST /v1/session/{id}/assert", s.endpoint("session_assert", true, s.handleSessionAssert))
+	s.mux.Handle("POST /v1/session/{id}/slice", s.endpoint("session_slice", true, s.handleSessionSlice))
+	s.mux.Handle("GET /v1/session/{id}/why", s.endpoint("session_why", true, s.handleSessionWhy))
+	s.mux.Handle("GET /v1/session/{id}/events", s.endpoint("session_events", false, s.handleSessionEvents))
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -108,8 +140,17 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the service's HTTP handler (for tests and embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler (for tests and embedding). The
+// mux is wrapped so even routing-level errors (404 unknown route, 405 wrong
+// method) come back in the service's JSON error envelope.
+func (s *Server) Handler() http.Handler { return envelope{next: s.mux} }
+
+// Close releases the server's background resources (the session janitor).
+// It does not affect an in-progress ListenAndServe, which calls it itself.
+func (s *Server) Close() { s.sessions.Close() }
+
+// Sessions exposes the session manager (for tests and embedding).
+func (s *Server) Sessions() *session.Manager { return s.sessions }
 
 // ListenAndServe serves until ctx is cancelled, then shuts down gracefully:
 // the listener closes, in-flight requests get ShutdownGrace to finish (the
@@ -138,6 +179,7 @@ func (s *Server) ListenAndServe(ctx context.Context, ready func(addr string)) er
 	}
 	err = hs.Serve(ln)
 	<-done
+	s.Close()
 	if err == http.ErrServerClosed {
 		return nil
 	}

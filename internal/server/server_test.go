@@ -25,6 +25,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 		cfg.Cache = driver.NewCache()
 	}
 	s := New(cfg)
+	t.Cleanup(s.Close)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts

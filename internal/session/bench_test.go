@@ -1,0 +1,49 @@
+package session
+
+import (
+	"testing"
+
+	"suifx/internal/driver"
+	"suifx/internal/explorer"
+	"suifx/internal/workloads"
+)
+
+// The session benchmarks quantify the interactive win the subsystem exists
+// for: a cold static analysis of the whole program versus the incremental
+// re-analysis an assertion triggers (dirty SCC + callers only, every other
+// summary and dependence verdict reused). benchjson derives the ratio into
+// BENCH_session.json as session_incremental_speedup.
+
+// BenchmarkSessionColdAnalyze is the create-time cost: parse the program and
+// run the full static pipeline (summaries + parallelization) from scratch.
+func BenchmarkSessionColdAnalyze(b *testing.B) {
+	w := workloads.ByName("mdg")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ex := explorer.NewUnstarted(
+			driver.NewIncremental(w.Fresh(), driver.Options{}), explorer.DefaultOptions())
+		if err := ex.Analyze(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSessionIncrementalReanalyze is the per-assertion cost: invalidate
+// one procedure (as an assertion on an INTERF loop does) and bring the
+// analysis back up to date incrementally.
+func BenchmarkSessionIncrementalReanalyze(b *testing.B) {
+	w := workloads.ByName("mdg")
+	ex := explorer.NewUnstarted(
+		driver.NewIncremental(w.Fresh(), driver.Options{}), explorer.DefaultOptions())
+	if err := ex.Analyze(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ex.Inc.Invalidate("INTERF")
+		if err := ex.Reanalyze(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

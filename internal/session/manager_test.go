@@ -1,0 +1,293 @@
+package session
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"suifx/internal/driver"
+	"suifx/internal/explorer"
+	"suifx/internal/workloads"
+)
+
+// fakeClock is a manual test clock for TTL eviction.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func testManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	if cfg.Cache == nil {
+		cfg.Cache = driver.NewCache()
+	}
+	m := NewManager(cfg)
+	t.Cleanup(m.Close)
+	return m
+}
+
+func mustCreate(t *testing.T, m *Manager, name, src string) *Session {
+	t.Helper()
+	s, err := m.Create(context.Background(), name, src, Options{})
+	if err != nil {
+		t.Fatalf("Create(%s): %v", name, err)
+	}
+	return s
+}
+
+func mdgSession(t *testing.T, m *Manager) *Session {
+	t.Helper()
+	w := workloads.ByName("mdg")
+	return mustCreate(t, m, w.Name, w.Source)
+}
+
+// TestSessionDialogueMdg drives the paper's mdg walkthrough end to end: the
+// Guru's worklist shows INTERF/1000 as an important loop blocked statically
+// on RL with zero observed dynamic dependences (the hint that an assertion
+// is plausible), one PRIVATE assertion unlocks it, and the incremental
+// re-analysis proves it recomputed only INTERF's SCC plus its transitive
+// callers.
+func TestSessionDialogueMdg(t *testing.T) {
+	m := testManager(t, Config{})
+	s := mdgSession(t, m)
+
+	g := s.Guru()
+	if len(g.Targets) == 0 {
+		t.Fatal("guru returned no targets")
+	}
+	var interf *Target
+	for i := range g.Targets {
+		if g.Targets[i].Loop == "INTERF/1000" {
+			interf = &g.Targets[i]
+			break
+		}
+	}
+	if interf == nil {
+		t.Fatalf("INTERF/1000 not in the guru worklist: %+v", g.Targets)
+	}
+	if !interf.Important {
+		t.Fatal("INTERF/1000 not marked important despite its coverage")
+	}
+	if interf.StaticDeps == 0 || interf.DynDeps != 0 {
+		t.Fatalf("INTERF/1000: static=%d dyn=%d, want static>0 dyn==0 (assertion hint)", interf.StaticDeps, interf.DynDeps)
+	}
+	if len(interf.Blocking) == 0 || interf.Blocking[0] != "RL" {
+		t.Fatalf("INTERF/1000 blocking = %v, want RL", interf.Blocking)
+	}
+	coverageBefore := g.Coverage
+
+	out, err := s.Assert(KindPrivate, "INTERF/1000", "RL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Accepted {
+		t.Fatalf("assertion rejected: %s (%s)", out.Reason, out.Code)
+	}
+	// The incremental contract: only INTERF's SCC and its transitive
+	// callers (the main program) were re-summarized; every callee of
+	// INTERF was served from the retained results.
+	prog := m.cfg.Cache.MustAnalyze("mdg", workloads.ByName("mdg").Source, driver.Options{}).Prog
+	if out.Reanalysis.Recomputed >= len(prog.Procs) {
+		t.Fatalf("assertion recomputed all %d procs — not incremental", len(prog.Procs))
+	}
+	recomputed := out.Reanalysis.RecomputedSet()
+	if !recomputed["INTERF"] {
+		t.Fatalf("recomputed %v does not include INTERF", out.Reanalysis.RecomputedProcs)
+	}
+	for _, callee := range []string{"DISTS", "VFORCE", "UPDATE"} {
+		if recomputed[callee] {
+			t.Fatalf("callee %s was recomputed; bottom-up invalidation must not dirty callees", callee)
+		}
+	}
+	if out.Guru == nil {
+		t.Fatal("accepted assertion must return the re-ranked guru list")
+	}
+	for _, tg := range out.Guru.Targets {
+		if tg.Loop == "INTERF/1000" {
+			t.Fatal("INTERF/1000 still a sequential target after the unlocking assertion")
+		}
+	}
+	if out.Guru.Coverage <= coverageBefore {
+		t.Fatalf("parallel coverage %f did not improve (was %f)", out.Guru.Coverage, coverageBefore)
+	}
+
+	// Observability: events recorded, manager counters advanced.
+	evs := s.Events(0)
+	kinds := map[string]bool{}
+	for _, e := range evs {
+		kinds[e.Kind] = true
+	}
+	for _, k := range []string{"created", "analyzed", "profiled", "assert"} {
+		if !kinds[k] {
+			t.Fatalf("event log %v missing kind %q", evs, k)
+		}
+	}
+	st := m.Stats()
+	if st.AssertsAccepted != 1 || st.Live != 1 || st.Created != 1 {
+		t.Fatalf("stats = %+v, want 1 accepted assert and 1 live session", st)
+	}
+	if st.SummariesReused == 0 {
+		t.Fatal("stats show no reused summaries after an incremental re-analysis")
+	}
+
+	info := s.Info()
+	if info.Asserts != 1 || info.LastReanalysis.Recomputed != out.Reanalysis.Recomputed {
+		t.Fatalf("info = %+v does not reflect the assertion", info)
+	}
+}
+
+// TestSessionAssertRejections covers the assertion-checker edge cases: each
+// bad claim comes back as an explicit rejection with a machine-readable
+// code, never a silent drop or an opaque transport error.
+func TestSessionAssertRejections(t *testing.T) {
+	m := testManager(t, Config{})
+	s := mdgSession(t, m)
+
+	cases := []struct {
+		name, kind, loop, v, code string
+	}{
+		{"unknown loop", KindPrivate, "NOPE/1", "RL", explorer.RejectUnknownLoop},
+		{"unknown loop independent", KindIndependent, "NOPE/1", "RL", explorer.RejectUnknownLoop},
+		{"unknown variable", KindPrivate, "INTERF/1000", "NOSUCHVAR", explorer.RejectUnknownVar},
+		{"unknown variable independent", KindIndependent, "INTERF/1000", "NOSUCHVAR", explorer.RejectUnknownVar},
+	}
+	for _, tc := range cases {
+		out, err := s.Assert(tc.kind, tc.loop, tc.v)
+		if err != nil {
+			t.Fatalf("%s: transport error %v, want in-band rejection", tc.name, err)
+		}
+		if out.Accepted || out.Code != tc.code {
+			t.Fatalf("%s: outcome %+v, want rejection with code %s", tc.name, out, tc.code)
+		}
+	}
+	if _, err := s.Assert("frobnicate", "INTERF/1000", "RL"); err == nil || !strings.Contains(err.Error(), "kind") {
+		t.Fatalf("bad kind error = %v, want ErrBadAssertKind", err)
+	}
+	if st := m.Stats(); st.AssertsRejected != int64(len(cases)) || st.AssertsAccepted != 0 {
+		t.Fatalf("stats = %+v, want %d rejections", st, len(cases))
+	}
+	// Rejections must not have perturbed the analysis: INTERF/1000 is still
+	// a sequential target.
+	found := false
+	for _, tg := range s.Guru().Targets {
+		found = found || tg.Loop == "INTERF/1000"
+	}
+	if !found {
+		t.Fatal("rejected assertions changed the analysis: INTERF/1000 left the worklist")
+	}
+}
+
+// TestSessionAssertContradicted: an INDEPENDENT claim on a variable with an
+// observed loop-carried flow dependence is refuted by the dynamic checker.
+func TestSessionAssertContradicted(t *testing.T) {
+	const recur = `      PROGRAM chainy
+      REAL a(100)
+      DO 10 i = 1, 100
+        a(i) = 1.0
+10    CONTINUE
+      DO 20 i = 2, 100
+        a(i) = a(i-1) + 1.0
+20    CONTINUE
+      END
+`
+	m := testManager(t, Config{})
+	s := mustCreate(t, m, "chainy.f", recur)
+	out, err := s.Assert(KindIndependent, "CHAINY/20", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted || out.Code != explorer.RejectContradicted {
+		t.Fatalf("outcome = %+v, want contradicted rejection", out)
+	}
+	if !strings.Contains(out.Reason, "contradicted") {
+		t.Fatalf("reason %q does not explain the contradiction", out.Reason)
+	}
+}
+
+// TestSessionTTLEviction: sessions idle past the TTL are swept; touched
+// sessions survive.
+func TestSessionTTLEviction(t *testing.T) {
+	clk := newFakeClock()
+	m := testManager(t, Config{IdleTTL: time.Minute, now: clk.now})
+	w := workloads.ByName("mdg")
+	old := mustCreate(t, m, w.Name, w.Source)
+	fresh := mustCreate(t, m, w.Name, w.Source)
+
+	clk.advance(59 * time.Second)
+	fresh.Guru() // touch: resets the idle timer
+	clk.advance(2 * time.Second)
+
+	if n := m.Sweep(); n != 1 {
+		t.Fatalf("sweep evicted %d sessions, want 1", n)
+	}
+	if _, ok := m.Get(old.ID()); ok {
+		t.Fatal("idle session still resolvable after TTL eviction")
+	}
+	if _, ok := m.Get(fresh.ID()); !ok {
+		t.Fatal("recently touched session was evicted")
+	}
+	if st := m.Stats(); st.EvictedIdle != 1 || st.Live != 1 {
+		t.Fatalf("stats = %+v, want 1 idle eviction and 1 live", st)
+	}
+}
+
+// TestSessionLRUCapEviction: creating past MaxSessions evicts the least
+// recently used session, not the most recent.
+func TestSessionLRUCapEviction(t *testing.T) {
+	m := testManager(t, Config{MaxSessions: 2})
+	w := workloads.ByName("mdg")
+	a := mustCreate(t, m, w.Name, w.Source)
+	b := mustCreate(t, m, w.Name, w.Source)
+	a.Guru() // a is now more recently used than b
+	c := mustCreate(t, m, w.Name, w.Source)
+
+	if _, ok := m.Get(b.ID()); ok {
+		t.Fatal("least recently used session b survived cap eviction")
+	}
+	for _, s := range []*Session{a, c} {
+		if _, ok := m.Get(s.ID()); !ok {
+			t.Fatalf("session %s wrongly evicted", s.ID())
+		}
+	}
+	if st := m.Stats(); st.EvictedFull != 1 || st.Live != 2 || st.MaxSessions != 2 {
+		t.Fatalf("stats = %+v, want 1 full eviction, 2 live", st)
+	}
+}
+
+// TestSessionDelete: explicit teardown is observable and idempotent.
+func TestSessionDelete(t *testing.T) {
+	m := testManager(t, Config{})
+	s := mdgSession(t, m)
+	if !m.Delete(s.ID()) {
+		t.Fatal("delete of a live session failed")
+	}
+	if m.Delete(s.ID()) {
+		t.Fatal("second delete reported success")
+	}
+	if st := m.Stats(); st.Deleted != 1 || st.Live != 0 {
+		t.Fatalf("stats = %+v, want 1 deleted, 0 live", st)
+	}
+}
+
+// TestSessionSharedCacheOneAnalysis: two sessions over identical source cost
+// one driver analysis (content-hash cache) and branch independently — an
+// assertion in one never leaks into the other.
+func TestSessionSharedCacheOneAnalysis(t *testing.T) {
+	cache := driver.NewCache()
+	m := testManager(t, Config{Cache: cache})
+	s1 := mdgSession(t, m)
+	s2 := mdgSession(t, m)
+	if st := cache.Stats(); st.Misses != 1 || st.Hits < 1 {
+		t.Fatalf("cache stats = %+v, want exactly one analysis for both sessions", st)
+	}
+	if out, err := s1.Assert(KindPrivate, "INTERF/1000", "RL"); err != nil || !out.Accepted {
+		t.Fatalf("assert failed: %v / %+v", err, out)
+	}
+	for _, tg := range s2.Guru().Targets {
+		if tg.Loop == "INTERF/1000" {
+			return // still sequential in s2, as it must be
+		}
+	}
+	t.Fatal("assertion in session 1 leaked into session 2's analysis")
+}

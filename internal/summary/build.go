@@ -96,6 +96,46 @@ func Analyze(prog *ir.Program) *Analysis {
 // merged) — the callee lookup used by the sequential driver.
 func (a *Analysis) ProcSummary(name string) *Tuple { return a.ProcSum[name] }
 
+// Clone returns an Analysis with fresh result maps sharing every merged
+// per-procedure value (Tuples are immutable once merged) and the same
+// read-only skeleton — program, region graph, canonical-symbol table. mr,
+// when non-nil, replaces the mod/ref info so the clone can track its own
+// re-merged effects. Merge on the clone never disturbs the original, which
+// lets the incremental driver branch a private re-analyzable copy off a
+// shared cached result.
+func (a *Analysis) Clone(mr *modref.Info) *Analysis {
+	if mr == nil {
+		mr = a.MR
+	}
+	out := &Analysis{
+		Prog:      a.Prog,
+		MR:        mr,
+		Reg:       a.Reg,
+		ProcSum:   make(map[string]*Tuple, len(a.ProcSum)),
+		RegionSum: make(map[*region.Region]*Tuple, len(a.RegionSum)),
+		BodySum:   make(map[*region.Region]*Tuple, len(a.BodySum)),
+		Ctx:       make(map[*region.Region]*symbolic.LoopContext, len(a.Ctx)),
+		After:     make(map[*region.Region]map[ir.Stmt]*Tuple, len(a.After)),
+		canonTab:  a.canonTab,
+	}
+	for k, v := range a.ProcSum {
+		out.ProcSum[k] = v
+	}
+	for k, v := range a.RegionSum {
+		out.RegionSum[k] = v
+	}
+	for k, v := range a.BodySum {
+		out.BodySum[k] = v
+	}
+	for k, v := range a.Ctx {
+		out.Ctx[k] = v
+	}
+	for k, v := range a.After {
+		out.After[k] = v
+	}
+	return out
+}
+
 // Merge folds one procedure's result into the whole-program maps. It must
 // not race with AnalyzeProc readers of ProcSum; schedulers call it either
 // single-threaded (after all workers finish) or before any dependent
