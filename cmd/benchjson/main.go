@@ -165,6 +165,25 @@ func derive(rep *Report) {
 			rep.Derived[key+"_alloc_ratio"] = round2(float64(tree.AllocsPerOp) / float64(bc.AllocsPerOp))
 		}
 	}
+	// ParallelEngine/<app>/<N>w sub-benchmarks (BENCH_parallel.json): copy
+	// each run's virtual-time speedup up into the derived block and record
+	// the wall-clock ratio against the same app's 1-worker run.
+	for _, bm := range rep.Benchmarks {
+		app, n, ok := parseParallelName(bm.Name)
+		if !ok {
+			continue
+		}
+		if rep.Derived == nil {
+			rep.Derived = map[string]float64{}
+		}
+		if v, ok := bm.Metrics["vt_speedup"]; ok {
+			rep.Derived[app+"_vt_speedup_"+n+"w"] = round2(v)
+		}
+		if base, ok := byName["ParallelEngine/"+app+"/1w"]; ok && bm.NsPerOp > 0 {
+			rep.Derived[app+"_wall_ratio_"+n+"w"] = round2(base.NsPerOp / bm.NsPerOp)
+		}
+	}
+
 	cold, okC := byName["SessionColdAnalyze"]
 	incr, okI := byName["SessionIncrementalReanalyze"]
 	if okC && okI && incr.NsPerOp > 0 {
@@ -176,6 +195,23 @@ func derive(rep *Report) {
 			rep.Derived["session_incremental_alloc_ratio"] = round2(float64(cold.AllocsPerOp) / float64(incr.AllocsPerOp))
 		}
 	}
+}
+
+// parseParallelName splits "ParallelEngine/<app>/<N>w" into app and N.
+func parseParallelName(name string) (app, n string, ok bool) {
+	rest, found := strings.CutPrefix(name, "ParallelEngine/")
+	if !found {
+		return "", "", false
+	}
+	app, nw, found := strings.Cut(rest, "/")
+	if !found || !strings.HasSuffix(nw, "w") {
+		return "", "", false
+	}
+	n = strings.TrimSuffix(nw, "w")
+	if _, err := strconv.Atoi(n); err != nil {
+		return "", "", false
+	}
+	return app, n, true
 }
 
 func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }

@@ -239,31 +239,59 @@ func (low *lowered) codeFor(prog *ir.Program, instrumented bool) *code {
 	return low.variants[i]
 }
 
-// Engine counters exported through suifxd's /v1/stats.
+// Engine counters exported through suifxd's /v1/stats. The fallback*
+// counters attribute every tree-walker run to its cause, so a plan that
+// unexpectedly runs off the fast engine is visible instead of silent.
 var counters struct {
 	compiledPrograms atomic.Int64
 	compiledProcs    atomic.Int64
+	compiledViews    atomic.Int64
 	instructions     atomic.Int64
 	bytecodeRuns     atomic.Int64
 	treeRuns         atomic.Int64
+
+	parallelLoopRuns atomic.Int64
+	parallelWorkers  atomic.Int64
+
+	fallbackMode      atomic.Int64
+	fallbackHooks     atomic.Int64
+	fallbackAnalyzers atomic.Int64
 }
 
 // Counters is a snapshot of the execution engine's global counters.
 type Counters struct {
 	CompiledPrograms int64 `json:"compiled_programs"`
 	CompiledProcs    int64 `json:"compiled_procs"`
+	CompiledViews    int64 `json:"compiled_worker_views"`
 	Instructions     int64 `json:"instructions_executed"`
 	BytecodeRuns     int64 `json:"bytecode_runs"`
 	TreeRuns         int64 `json:"tree_runs"`
+
+	// Parallel engine: planned-loop invocations executed (either engine)
+	// and worker goroutines spawned for them.
+	ParallelLoopRuns int64 `json:"parallel_loop_runs"`
+	ParallelWorkers  int64 `json:"parallel_workers"`
+
+	// Tree-walker fallbacks by cause: explicit tree mode, user-installed
+	// hooks, unsupported analyzer attachments.
+	FallbackMode      int64 `json:"fallbacks_mode"`
+	FallbackHooks     int64 `json:"fallbacks_hooks"`
+	FallbackAnalyzers int64 `json:"fallbacks_analyzers"`
 }
 
 // ReadCounters returns the current engine counters.
 func ReadCounters() Counters {
 	return Counters{
-		CompiledPrograms: counters.compiledPrograms.Load(),
-		CompiledProcs:    counters.compiledProcs.Load(),
-		Instructions:     counters.instructions.Load(),
-		BytecodeRuns:     counters.bytecodeRuns.Load(),
-		TreeRuns:         counters.treeRuns.Load(),
+		CompiledPrograms:  counters.compiledPrograms.Load(),
+		CompiledProcs:     counters.compiledProcs.Load(),
+		CompiledViews:     counters.compiledViews.Load(),
+		Instructions:      counters.instructions.Load(),
+		BytecodeRuns:      counters.bytecodeRuns.Load(),
+		TreeRuns:          counters.treeRuns.Load(),
+		ParallelLoopRuns:  counters.parallelLoopRuns.Load(),
+		ParallelWorkers:   counters.parallelWorkers.Load(),
+		FallbackMode:      counters.fallbackMode.Load(),
+		FallbackHooks:     counters.fallbackHooks.Load(),
+		FallbackAnalyzers: counters.fallbackAnalyzers.Load(),
 	}
 }

@@ -26,6 +26,14 @@ type compiler struct {
 	entryOf      map[string]int32
 	depth        int // static eval-stack depth at the current emit point
 	maxDepth     int
+
+	// Worker-view rebinding (parallel plans): symbols privatized for one
+	// worker resolve to that worker's storage as precompiled absolute
+	// addresses, and privatized common members redirect by (block, offset)
+	// so every alias in every reachable procedure lands on the private
+	// copy — the compile-time mirror of the tree-walker's bind()/privCommon.
+	rebind     map[*ir.Symbol]int64
+	privCommon map[string]map[int64]int64
 }
 
 func compileProgram(prog *ir.Program, lay *layout, instrumented bool) *code {
@@ -45,6 +53,42 @@ func compileProgram(prog *ir.Program, lay *layout, instrumented bool) *code {
 		c.stmts(p.Body)
 		// Implicit RETURN at the end of the body (carries no tick: the
 		// tree-walker charges nothing for falling off the end).
+		c.curStmt = nil
+		c.emit(opReturn, 0, 0, 0)
+	}
+	for i := range c.c.calls {
+		ci := &c.c.calls[i]
+		ci.entry = c.entryOf[ci.name]
+	}
+	c.c.maxStack = c.maxDepth + 8
+	return c.c
+}
+
+// compileLoopBody lowers one approved parallel loop's body — plus every
+// procedure reachable from it — into a standalone instruction stream whose
+// entry executes the body exactly once. The parallel runtime stores the
+// iteration's index value at the rebound index cell and calls run() per
+// iteration, so one compiled view per worker replaces the tree-walker's
+// per-call map lookups with fixed addresses. Views are never instrumented:
+// worker clones drop hooks on the tree path too.
+func compileLoopBody(prog *ir.Program, lay *layout, proc *ir.Proc, l *ir.DoLoop,
+	rebind map[*ir.Symbol]int64, privCommon map[string]map[int64]int64) *code {
+	c := &compiler{
+		prog:       prog,
+		lay:        lay,
+		c:          &code{lay: lay},
+		entryOf:    map[string]int32{},
+		rebind:     rebind,
+		privCommon: privCommon,
+	}
+	c.curProc = proc
+	c.stmts(l.Body)
+	c.curStmt = nil
+	c.emit(opReturn, 0, 0, 0)
+	for _, p := range reachableProcs(prog, l) {
+		c.entryOf[p.Name] = int32(len(c.c.ins))
+		c.curProc = p
+		c.stmts(p.Body)
 		c.curStmt = nil
 		c.emit(opReturn, 0, 0, 0)
 	}
@@ -134,7 +178,7 @@ func (c *compiler) loop(l *ir.DoLoop) {
 	li := int32(len(c.c.loops))
 	lm := loopMeta{loop: l, proc: c.curProc.Name, line: int32(l.Pos.Line)}
 	switch sym := l.Index; {
-	case sym.IsParam:
+	case sym.IsParam && !c.rebound(sym):
 		lm.idxParam, lm.idxOp = true, int32(sym.ParamIndex)
 	default:
 		lm.idxOp = c.absAddr(sym)
@@ -204,7 +248,7 @@ func (c *compiler) argAddr(sym *ir.Symbol, ar *ir.ArrayRef, s ir.Stmt) {
 		withOff = 1
 	}
 	op, a := opArgAddrG, c.absAddr(sym)
-	if sym.IsParam {
+	if sym.IsParam && !c.rebound(sym) {
 		op, a = opArgAddrP, int32(sym.ParamIndex)
 	}
 	c.emit(op, a, withOff, 0)
@@ -286,7 +330,7 @@ func (c *compiler) offset(ar *ir.ArrayRef, s ir.Stmt) {
 }
 
 func (c *compiler) accessOp(sym *ir.Symbol, g, p, gi, pi opcode) (opcode, int32) {
-	if sym.IsParam {
+	if sym.IsParam && !c.rebound(sym) {
 		if c.instrumented {
 			return pi, int32(sym.ParamIndex)
 		}
@@ -298,8 +342,22 @@ func (c *compiler) accessOp(sym *ir.Symbol, g, p, gi, pi opcode) (opcode, int32)
 	return g, c.absAddr(sym)
 }
 
+// rebound reports whether a symbol has a worker-private address, which
+// overrides even parameter binding (the tree-walker rebinds frame refs the
+// same way).
+func (c *compiler) rebound(sym *ir.Symbol) bool {
+	_, ok := c.rebind[sym]
+	return ok
+}
+
 func (c *compiler) absAddr(sym *ir.Symbol) int32 {
+	if a, ok := c.rebind[sym]; ok {
+		return int32(a)
+	}
 	if sym.Common != "" {
+		if ov, ok := c.privCommon[sym.Common][sym.CommonOffset]; ok {
+			return int32(ov)
+		}
 		return int32(c.lay.blockOff[sym.Common] + sym.CommonOffset)
 	}
 	return int32(c.lay.base[sym])

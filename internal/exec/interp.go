@@ -24,8 +24,9 @@ const (
 	// ModeAuto follows the package-level DefaultMode.
 	ModeAuto ExecMode = iota
 	// ModeBytecode compiles the program once and runs the flat instruction
-	// stream (falls back to the tree-walker for parallel plans and
-	// user-installed hooks, which the VM does not model).
+	// stream, including approved parallel loops (per-worker bytecode views
+	// over the shared arena). It falls back to the tree-walker only for
+	// user-installed hooks, which the VM does not model.
 	ModeBytecode
 	// ModeTree forces the original tree-walking interpreter.
 	ModeTree
@@ -82,8 +83,8 @@ type Interp struct {
 	Hooks Hooks
 
 	// Mode selects the engine for this interpreter (ModeAuto follows
-	// DefaultMode). The tree-walker is used regardless when a parallel plan
-	// is attached or when user hooks are installed.
+	// DefaultMode). The tree-walker is used regardless when user hooks are
+	// installed; both engines execute parallel plans.
 	Mode ExecMode
 
 	arena []float64
@@ -94,6 +95,11 @@ type Interp struct {
 	ops      int64
 	tempBase int64
 	tempTop  int64
+	// tempLimit bounds the scratch region: the main interpreter owns
+	// [tempBase, tempLimit); parallel workers get disjoint blocks appended
+	// after the static layout so concurrent value-argument spills never
+	// collide.
+	tempLimit int64
 
 	// analyzers are attached by NewProfiler/NewDynDep. The tree engine
 	// installs them as hook chains; the bytecode engine drives them
@@ -109,10 +115,18 @@ type Interp struct {
 	plan         *ParallelPlan
 	workerBase   map[*ir.DoLoop]map[*ir.Symbol][]int64
 	workerLocals map[*ir.DoLoop][]map[*ir.Symbol]int64
+	// workerTemp holds each worker's private scratch-block base.
+	workerTemp []int64
 	// privCommon overrides common-member storage in worker clones, so
 	// privatized common variables stay private across call boundaries.
 	privCommon map[string]map[int64]int64
 	inParallel bool
+	// planRT caches the per-worker bytecode views compiled for the plan
+	// (built lazily on the first bytecode run).
+	planRT *planRT
+	// parStats accumulates the per-planned-loop virtual-time profile
+	// (invocations, per-worker ops, critical path); see ParallelStats.
+	parStats map[*ir.DoLoop]*ParLoopStat
 }
 
 // analyzer is an execution analyzer (Profiler or DynDep) attached to an
@@ -127,13 +141,14 @@ type analyzer interface {
 func New(prog *ir.Program) *Interp {
 	lay := loweredOf(prog).lay
 	return &Interp{
-		Prog:     prog,
-		Out:      io.Discard,
-		base:     lay.base,
-		blockOff: lay.blockOff,
-		arena:    make([]float64, lay.size),
-		tempBase: lay.tempBase,
-		tempTop:  lay.tempBase,
+		Prog:      prog,
+		Out:       io.Discard,
+		base:      lay.base,
+		blockOff:  lay.blockOff,
+		arena:     make([]float64, lay.size),
+		tempBase:  lay.tempBase,
+		tempTop:   lay.tempBase,
+		tempLimit: lay.size,
 	}
 }
 
@@ -145,6 +160,12 @@ func (in *Interp) Arena() []float64 { return in.arena }
 
 // ArenaSize returns the number of storage cells.
 func (in *Interp) ArenaSize() int { return len(in.arena) }
+
+// ScratchBase returns the arena offset where call-argument scratch begins.
+// Cells at and beyond it are dead between statements, so validation against
+// another run must not compare them: parallel workers spill into their own
+// scratch blocks and leave the base region untouched.
+func (in *Interp) ScratchBase() int64 { return in.tempBase }
 
 // frame binds a procedure's symbols to storage.
 type frame struct {
@@ -187,15 +208,21 @@ func (in *Interp) Run() error {
 	return err
 }
 
-// useBytecode decides the engine for this run. Parallel plans, user-set
-// hooks, and duplicate analyzers of one kind fall back to the tree-walker,
-// which models them all.
+// useBytecode decides the engine for this run. User-set hooks and duplicate
+// analyzers of one kind fall back to the tree-walker, which models them
+// all; every fallback is attributed to its cause in the engine counters so
+// a plan that unexpectedly runs off the fast engine is visible.
 func (in *Interp) useBytecode() bool {
 	mode := in.Mode
 	if mode == ModeAuto {
 		mode = DefaultMode
 	}
-	if mode != ModeBytecode || in.plan != nil || in.userHooks() {
+	if mode != ModeBytecode {
+		counters.fallbackMode.Add(1)
+		return false
+	}
+	if in.userHooks() {
+		counters.fallbackHooks.Add(1)
 		return false
 	}
 	np, nd := 0, 0
@@ -206,10 +233,15 @@ func (in *Interp) useBytecode() bool {
 		case *DynDep:
 			nd++
 		default:
+			counters.fallbackAnalyzers.Add(1)
 			return false
 		}
 	}
-	return np <= 1 && nd <= 1
+	if np > 1 || nd > 1 {
+		counters.fallbackAnalyzers.Add(1)
+		return false
+	}
+	return true
 }
 
 // userHooks reports whether hooks beyond the attached analyzers' own were
@@ -268,11 +300,15 @@ func (in *Interp) runBytecode() error {
 		frames:     sc.frames,
 		loopActs:   sc.loopActs,
 		tempTop:    in.tempTop,
+		tempLimit:  in.tempLimit,
 		ops:        in.ops,
 		maxOps:     in.MaxOps,
 	}
 	if v.maxOps <= 0 {
 		v.maxOps = math.MaxInt64
+	}
+	if in.plan != nil {
+		v.par = in.ensurePlanRT(cd)
 	}
 	if prof != nil {
 		v.prof = &profState{inv: sc.profInv, iters: sc.profIters, tops: sc.profOps, stack: sc.profStack}
@@ -402,10 +438,7 @@ func (in *Interp) execLoop(f *frame, l *ir.DoLoop) (signal, error) {
 		}
 	}
 	idx := in.refOf(f, l.Index)
-	trips := int64(math.Floor((hi-lo+step)/step + 1e-9))
-	if trips < 0 {
-		trips = 0
-	}
+	trips := tripCount(lo, hi, step)
 	if h := in.Hooks.OnLoopEnter; h != nil {
 		h(f.proc.Name, l)
 	}
@@ -439,6 +472,20 @@ func (in *Interp) execLoop(f *frame, l *ir.DoLoop) (signal, error) {
 	return sigNone, nil
 }
 
+// tripCount computes a DO loop's trip count: floor((hi-lo+step)/step) with
+// a tolerance that is relative to the trip count and symmetric in the sign
+// of step, so fractional steps whose accumulated representation error
+// approaches the bound from either side (positive or negative stride) are
+// not truncated one iteration short. Both engines share this one formula.
+func tripCount(lo, hi, step float64) int64 {
+	r := (hi - lo + step) / step
+	t := int64(math.Floor(r + 1e-9*math.Max(1, math.Abs(r))))
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
 func (in *Interp) execCall(f *frame, c *ir.Call) error {
 	callee := in.Prog.ByName[c.Name]
 	if callee == nil {
@@ -470,7 +517,7 @@ func (in *Interp) execCall(f *frame, c *ir.Call) error {
 			if err != nil {
 				return err
 			}
-			if in.tempTop >= int64(len(in.arena)) {
+			if in.tempTop >= in.tempLimit {
 				return fmt.Errorf("exec: line %d: temporary stack overflow", c.Pos.Line)
 			}
 			in.arena[in.tempTop] = v

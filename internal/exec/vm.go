@@ -264,11 +264,15 @@ type vm struct {
 	frames     []frameRT
 	loopActs   []loopAct
 	tempTop    int64
+	tempLimit  int64
 	ops        int64
 	maxOps     int64
 	events     bool
 	prof       *profState
 	dda        *ddaState
+	// par dispatches approved parallel loops to per-worker views (nil on
+	// worker VMs, so nested planned loops stay sequential inside a region).
+	par *planRT
 }
 
 func (v *vm) enterLoop(li int32) {
@@ -344,7 +348,9 @@ func (v *vm) run() error {
 	var nInstr int64
 
 	v.frames = append(v.frames[:0], frameRT{retPC: -1, savedTemp: v.tempTop})
-	var params []int64
+	// Worker views start with the dispatching frame's parameter bindings
+	// pre-loaded in paramStore; a whole-program run starts with none.
+	params := v.paramStore
 
 	fail := func(err error) error {
 		v.ops = ops
@@ -560,15 +566,36 @@ func (v *vm) run() error {
 			if step == 0 {
 				return fail(fmt.Errorf("exec: line %d: zero DO step", lm.line))
 			}
-			trips := int64(math.Floor((hi-lo+step)/step + 1e-9))
-			if trips < 0 {
-				trips = 0
-			}
+			trips := tripCount(lo, hi, step)
 			var ia int64
 			if lm.idxParam {
 				ia = params[lm.idxOp]
 			} else {
 				ia = int64(lm.idxOp)
+			}
+			if v.par != nil {
+				if lrt := v.par.loops[i.a]; lrt != nil {
+					// Parallel dispatch: run the even-chunk schedule on the
+					// per-worker views, then land on opLoopHead with an
+					// exhausted activation so the sequential exit path
+					// (final index value, exit event) applies unchanged.
+					v.loopActs = append(v.loopActs, loopAct{
+						li: i.a, it: trips, trips: trips,
+						v: lo + float64(trips)*step, step: step, idxAddr: ia,
+					})
+					if v.events {
+						v.ops = ops
+						v.enterLoop(i.a)
+					}
+					v.ops = ops
+					err := v.par.runLoop(v, lrt, params, lo, step, trips)
+					ops = v.ops
+					if err != nil {
+						mem[ia] = lo + float64(trips)*step
+						return fail(err)
+					}
+					break
+				}
 			}
 			v.loopActs = append(v.loopActs, loopAct{li: i.a, trips: trips, v: lo, step: step, idxAddr: ia})
 			if v.events {
@@ -624,7 +651,7 @@ func (v *vm) run() error {
 				if ci.kinds[j] == argBind {
 					v.paramStore = append(v.paramStore, int64(val))
 				} else {
-					if v.tempTop >= int64(len(mem)) {
+					if v.tempTop >= v.tempLimit {
 						return fail(fmt.Errorf("exec: line %d: temporary stack overflow", ci.line))
 					}
 					mem[v.tempTop] = val

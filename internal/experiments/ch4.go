@@ -435,94 +435,18 @@ func Fig4_10() *Table {
 	return t
 }
 
-// BuildPlan converts a parallelization result into a runtime execution plan
-// for the chosen loops: privatized variables (inner indices included),
-// last-iteration finalization lists, and reduction accumulators with the
-// staggered finalization of §6.3.4.
+// BuildPlan converts a parallelization result into a runtime execution
+// plan. It now lives in internal/parallel (so the analysis layer can hand
+// plans straight to either engine); this delegate keeps existing callers
+// working.
 func BuildPlan(res *parallel.Result, workers int) *exec.ParallelPlan {
-	plan := &exec.ParallelPlan{Workers: workers, Loops: map[*ir.DoLoop]*exec.LoopPlan{}}
-	for _, li := range res.Ordered {
-		if !li.Chosen {
-			continue
-		}
-		lp := &exec.LoopPlan{Staggered: true, Chunks: 4}
-		for _, vr := range li.Dep.Vars {
-			switch vr.Class.String() {
-			case "private":
-				lp.Private = append(lp.Private, vr.Sym)
-				if vr.NeedsFinalization {
-					lp.Finalize = append(lp.Finalize, vr.Sym)
-				}
-			case "reduction":
-				lp.Reductions = append(lp.Reductions, exec.ReductionPlan{Sym: vr.Sym, Op: vr.RedOp})
-			case "index":
-				if vr.Sym != li.Region.Loop.Index {
-					lp.Private = append(lp.Private, vr.Sym)
-				}
-			}
-		}
-		plan.Loops[li.Region.Loop] = lp
-	}
-	return plan
+	return parallel.BuildPlan(res, workers)
 }
 
 // ValidateUserParallelization executes each user-parallelized application
 // both sequentially and with the goroutine runtime on the asserted plan, and
-// checks the results agree (the §6.5.2 validation).
+// checks the results agree (the §6.5.2 validation). Both runs share one
+// cached program: each interpreter owns its arena, the IR is never written.
 func ValidateUserParallelization(name string, workers int) error {
-	w := workloads.ByName(name)
-	// Both runs share one cached program: each interpreter owns its arena,
-	// the IR itself is never written.
-	parProg, sum := cachedAnalysis(w)
-	seq := exec.New(parProg)
-	if err := seq.Run(); err != nil {
-		return err
-	}
-	res := parallel.ParallelizeWith(sum, ch4Config(w, true))
-	plan := BuildPlan(res, workers)
-	par := exec.NewWithPlan(parProg, plan)
-	if err := par.Run(); err != nil {
-		return err
-	}
-	// Privatized variables and the locals of procedures called inside
-	// parallel loops are dead storage after the loops; their shared cells
-	// legitimately differ from a sequential run, so mask them out. (The
-	// base arena layouts are identical: worker blocks are appended after
-	// the static allocation.)
-	n := seq.ArenaSize()
-	seqA := append([]float64(nil), seq.Arena()[:n]...)
-	parA := append([]float64(nil), par.Arena()[:n]...)
-	mask := func(lo, hi int64) {
-		for i := lo; i <= hi && i < int64(n); i++ {
-			seqA[i], parA[i] = 0, 0
-		}
-	}
-	for _, li := range res.Ordered {
-		if !li.Chosen {
-			continue
-		}
-		proc := li.Region.Proc.Name
-		for _, vr := range li.Dep.Vars {
-			cls := vr.Class.String()
-			if cls == "private" || cls == "index" {
-				if lo, hi, ok := par.SymRange(proc, vr.Sym.Name); ok {
-					mask(lo, hi)
-				}
-			}
-		}
-		for _, c := range li.Region.AllCallSites() {
-			callee := parProg.ByName[c.Name]
-			if callee == nil {
-				continue
-			}
-			for _, sym := range callee.SortedSyms() {
-				if sym.Common == "" && !sym.IsParam {
-					if lo, hi, ok := par.SymRange(callee.Name, sym.Name); ok {
-						mask(lo, hi)
-					}
-				}
-			}
-		}
-	}
-	return exec.Validate(seqA, parA, 1e-6)
+	return validateParallelRun(name, workers, exec.ModeAuto, true)
 }

@@ -1,0 +1,52 @@
+package parallel
+
+import (
+	"suifx/internal/exec"
+	"suifx/internal/ir"
+)
+
+// PlanOptions selects the runtime schedule for an execution plan built from
+// a parallelization result.
+type PlanOptions struct {
+	Workers int
+	// Staggered selects the §6.3.4 chunked reduction finalization; false is
+	// the §6.3.2 single-lock (serial-order) baseline.
+	Staggered bool
+	Chunks    int
+}
+
+// BuildPlan converts a parallelization result into a runtime execution plan
+// for the chosen loops — privatized variables (inner indices included),
+// last-iteration finalization lists, and reduction accumulators — with the
+// staggered finalization of §6.3.4.
+func BuildPlan(res *Result, workers int) *exec.ParallelPlan {
+	return BuildPlanOpts(res, PlanOptions{Workers: workers, Staggered: true, Chunks: 4})
+}
+
+// BuildPlanOpts is BuildPlan with an explicit finalization discipline.
+func BuildPlanOpts(res *Result, opt PlanOptions) *exec.ParallelPlan {
+	plan := &exec.ParallelPlan{Workers: opt.Workers, Loops: map[*ir.DoLoop]*exec.LoopPlan{}}
+	for _, li := range res.Ordered {
+		if !li.Chosen {
+			continue
+		}
+		lp := &exec.LoopPlan{Staggered: opt.Staggered, Chunks: opt.Chunks}
+		for _, vr := range li.Dep.Vars {
+			switch vr.Class.String() {
+			case "private":
+				lp.Private = append(lp.Private, vr.Sym)
+				if vr.NeedsFinalization {
+					lp.Finalize = append(lp.Finalize, vr.Sym)
+				}
+			case "reduction":
+				lp.Reductions = append(lp.Reductions, exec.ReductionPlan{Sym: vr.Sym, Op: vr.RedOp})
+			case "index":
+				if vr.Sym != li.Region.Loop.Index {
+					lp.Private = append(lp.Private, vr.Sym)
+				}
+			}
+		}
+		plan.Loops[li.Region.Loop] = lp
+	}
+	return plan
+}

@@ -283,6 +283,21 @@ type ProfileRequest struct {
 	// Mode selects the execution engine: "auto" (default), "bytecode" or
 	// "tree" — the tree-walker is kept for differential debugging.
 	Mode string `json:"mode,omitempty"`
+	// Workers, when > 1, lowers the analysis' approved parallel loops to a
+	// runtime plan and executes them on that many workers (§4.5 even-chunk
+	// schedule). Loops nested inside a planned body run in workers without
+	// instrumentation, so they don't appear in the profile.
+	Workers int `json:"workers,omitempty"`
+}
+
+// ParallelLoopJSON is one planned loop's execution record.
+type ParallelLoopJSON struct {
+	Line        int    `json:"line"`
+	Index       string `json:"index"`
+	Invocations int64  `json:"invocations"`
+	Workers     int    `json:"workers"`
+	WorkerOps   int64  `json:"worker_ops"`
+	CritOps     int64  `json:"crit_ops"`
 }
 
 // LoopProfileJSON is one loop's virtual-time record.
@@ -296,10 +311,16 @@ type LoopProfileJSON struct {
 }
 
 // ProfileResponse is the whole-program loop profile, hottest loop first.
+// The parallel fields are present only when the request set workers > 1:
+// CriticalPathOps is total_ops with each planned loop's worker time
+// replaced by its slowest worker, i.e. the run's §4.5 virtual-time cost.
 type ProfileResponse struct {
-	Name     string            `json:"name"`
-	TotalOps int64             `json:"total_ops"`
-	Loops    []LoopProfileJSON `json:"loops"`
+	Name            string             `json:"name"`
+	TotalOps        int64              `json:"total_ops"`
+	Loops           []LoopProfileJSON  `json:"loops"`
+	Workers         int                `json:"workers,omitempty"`
+	CriticalPathOps int64              `json:"critical_path_ops,omitempty"`
+	ParallelLoops   []ParallelLoopJSON `json:"parallel_loops,omitempty"`
 }
 
 func (s *Server) handleProfile(ctx context.Context, r *http.Request) (any, error) {
@@ -315,9 +336,17 @@ func (s *Server) handleProfile(ctx context.Context, r *http.Request) (any, error
 		}
 		mode = m
 	}
+	if req.Workers < 0 || req.Workers > 64 {
+		return nil, errf(http.StatusUnprocessableEntity, "workers must be in [0, 64], got %d", req.Workers)
+	}
 	res, err := s.analyze(ctx, req.SourceRef, 0)
 	if err != nil {
 		return nil, err
+	}
+	var plan *exec.ParallelPlan
+	if req.Workers > 1 {
+		par := parallel.ParallelizeWith(res.Sum, parallel.Config{UseReductions: true})
+		plan = parallel.BuildPlan(par, req.Workers)
 	}
 	maxOps := req.MaxOps
 	if maxOps <= 0 {
@@ -333,7 +362,12 @@ func (s *Server) handleProfile(ctx context.Context, r *http.Request) (any, error
 	}
 	out := make(chan profOut, 1)
 	go func() {
-		in := exec.New(res.Prog)
+		var in *exec.Interp
+		if plan != nil {
+			in = exec.NewWithPlan(res.Prog, plan)
+		} else {
+			in = exec.New(res.Prog)
+		}
 		in.Mode = mode
 		in.MaxOps = maxOps
 		prof := exec.NewProfiler(in)
@@ -342,6 +376,20 @@ func (s *Server) handleProfile(ctx context.Context, r *http.Request) (any, error
 			return
 		}
 		resp := &ProfileResponse{Name: res.Prog.Name, TotalOps: prof.TotalOps()}
+		if plan != nil {
+			resp.Workers = req.Workers
+			resp.CriticalPathOps = in.CriticalPathOps()
+			for _, st := range in.ParallelStats() {
+				resp.ParallelLoops = append(resp.ParallelLoops, ParallelLoopJSON{
+					Line:        st.Line,
+					Index:       st.Index,
+					Invocations: st.Invocations,
+					Workers:     st.Workers,
+					WorkerOps:   st.WorkerOps,
+					CritOps:     st.CritOps,
+				})
+			}
+		}
 		for _, lp := range prof.Profiles() {
 			resp.Loops = append(resp.Loops, LoopProfileJSON{
 				ID:               lp.ID,

@@ -447,6 +447,67 @@ func TestServerProfileMode(t *testing.T) {
 	}
 }
 
+// TestServerProfileWorkers: the per-request parallel-execution knob. A
+// workers > 1 request runs approved loops on the plan-aware engine and
+// reports the schedule (critical-path ops, per-loop worker stats); repeat
+// requests are deterministic; out-of-range workers is a client error.
+func TestServerProfileWorkers(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	found := false
+	for _, w := range workloads.All() {
+		var bodies []string
+		var resp ProfileResponse
+		for i := 0; i < 2; i++ {
+			status, fields := postJSON(t, ts, "/v1/profile",
+				map[string]any{"workload": w.Name, "workers": 4})
+			if status != http.StatusOK {
+				t.Fatalf("%s: status = %d (%s)", w.Name, status, fields["error"])
+			}
+			b, _ := json.Marshal(fields)
+			bodies = append(bodies, string(b))
+			if i == 0 {
+				if err := json.Unmarshal(b, &resp); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if bodies[0] != bodies[1] {
+			t.Fatalf("%s: parallel profile not deterministic:\n%s\n%s", w.Name, bodies[0], bodies[1])
+		}
+		if len(resp.ParallelLoops) == 0 {
+			continue
+		}
+		found = true
+		if resp.Workers != 4 {
+			t.Fatalf("%s: workers = %d, want 4", w.Name, resp.Workers)
+		}
+		if resp.CriticalPathOps <= 0 || resp.CriticalPathOps >= resp.TotalOps {
+			t.Fatalf("%s: critical_path_ops %d not in (0, %d)", w.Name, resp.CriticalPathOps, resp.TotalOps)
+		}
+		for _, pl := range resp.ParallelLoops {
+			if pl.Invocations < 1 || pl.Workers < 1 || pl.WorkerOps < pl.CritOps {
+				t.Fatalf("%s: implausible parallel loop record %+v", w.Name, pl)
+			}
+		}
+		break
+	}
+	if !found {
+		t.Fatal("no workload produced a parallel loop under workers=4")
+	}
+
+	status, fields := postJSON(t, ts, "/v1/profile",
+		map[string]any{"workload": workloads.All()[0].Name, "workers": 65})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("workers=65: status = %d (%s), want 422", status, fields["error"])
+	}
+
+	// The run above bumped the parallel-engine counters now visible in stats.
+	_, sr := getStats(t, ts)
+	if sr.Exec.ParallelLoopRuns < 1 || sr.Exec.CompiledViews < 1 {
+		t.Fatalf("parallel counters not visible: %+v", sr.Exec)
+	}
+}
+
 // TestServerStats: counters move, the cache is visible, expvar's "suifxd"
 // var carries the same snapshot.
 func TestServerStats(t *testing.T) {
