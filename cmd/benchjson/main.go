@@ -184,6 +184,40 @@ func derive(rep *Report) {
 		}
 	}
 
+	// Scale/<tier> rows (BENCH_scale.json): record each tier's analysis
+	// cost per thousand source lines, plus the ladder's superlinearity —
+	// the largest tier's per-kloc cost over the smallest's. 1.0 means the
+	// analysis scales linearly with program size; the value CI watches.
+	type scalePt struct {
+		lines, perKloc float64
+	}
+	var scaleMin, scaleMax *scalePt
+	for _, bm := range rep.Benchmarks {
+		tier, found := strings.CutPrefix(bm.Name, "Scale/")
+		if !found || strings.Contains(tier, "/") {
+			continue
+		}
+		lines := bm.Metrics["lines"]
+		analyze := bm.Metrics["analyze_ms"]
+		if lines <= 0 {
+			continue
+		}
+		if rep.Derived == nil {
+			rep.Derived = map[string]float64{}
+		}
+		pt := &scalePt{lines: lines, perKloc: analyze / (lines / 1000)}
+		rep.Derived["scale_"+tier+"_analyze_ms_per_kloc"] = round2(pt.perKloc)
+		if scaleMin == nil || lines < scaleMin.lines {
+			scaleMin = pt
+		}
+		if scaleMax == nil || lines > scaleMax.lines {
+			scaleMax = pt
+		}
+	}
+	if scaleMin != nil && scaleMax != scaleMin && scaleMin.perKloc > 0 {
+		rep.Derived["scale_analyze_superlinearity"] = round2(scaleMax.perKloc / scaleMin.perKloc)
+	}
+
 	cold, okC := byName["SessionColdAnalyze"]
 	incr, okI := byName["SessionIncrementalReanalyze"]
 	if okC && okI && incr.NsPerOp > 0 {

@@ -1,0 +1,533 @@
+// Package corpus is the scenario factory: a deterministic, seed-driven
+// generator of large MiniF programs with controlled structure. Where the
+// hand-written workloads in internal/workloads reproduce the paper's
+// applications faithfully but stay small, corpus programs scale from one
+// thousand to one hundred thousand source lines with independently tunable
+// knobs — call-graph depth and fanout, COMMON-block aliasing density,
+// reduction-versus-privatization mix, loop-nest depth, and trip-count
+// distribution — so the analyses, the incremental driver, and both
+// execution engines can be exercised at production scale.
+//
+// Every program is valid by construction: all array subscripts are provably
+// in bounds, there is no division, no I/O inside loops, and no unknown
+// callee, so a generated program must parse, analyze, and execute
+// identically (and successfully) on every engine. Each program carries a
+// Manifest; a failure anywhere downstream reproduces from (seed, config)
+// alone.
+//
+// Determinism is stronger than "same seed, same program": every decision
+// the generator makes draws from a hash of the seed and the decision site
+// (procedure index, nest index, statement index), not from a shared
+// sequential PRNG stream. Raising a probability knob therefore only flips
+// individual decisions from "off" to "on" — the rest of the program is
+// unchanged — which is what makes the knob-monotonicity contract (higher
+// aliasing density ⇒ superset of aliased loops) exact rather than merely
+// statistical.
+package corpus
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Config is the knob set of the factory. The zero value is normalized to
+// usable defaults by Generate (see normalize).
+type Config struct {
+	// TargetLines is the approximate emitted program size in source lines.
+	TargetLines int `json:"target_lines"`
+	// CallDepth is the call-tree depth below the main program (>= 1).
+	CallDepth int `json:"call_depth"`
+	// CallFanout is the number of callees per non-leaf procedure (>= 1).
+	CallFanout int `json:"call_fanout"`
+	// LoopDepth is the maximum loop-nest depth (1..3).
+	LoopDepth int `json:"loop_depth"`
+	// AliasDensity in [0,1] is the probability that a loop nest conflicts
+	// through a shared COMMON block — either directly (a loop-carried
+	// read/write on a shared array) or interprocedurally (a call to a
+	// helper that writes a shared work array).
+	AliasDensity float64 `json:"alias_density"`
+	// ReductionMix in [0,1] is the probability that a compute statement is
+	// a sum reduction rather than a privatizable-temporary chain or an
+	// independent elementwise write.
+	ReductionMix float64 `json:"reduction_mix"`
+	// TripLo/TripHi bound the per-loop trip counts (uniform draw).
+	TripLo int `json:"trip_lo"`
+	TripHi int `json:"trip_hi"`
+	// MaxNestIters caps the iteration product of one loop nest so deep
+	// nests with large trip counts cannot blow up execution time. 0 means
+	// the default (4096).
+	MaxNestIters int `json:"max_nest_iters,omitempty"`
+}
+
+// Stats records what the factory actually emitted, for manifest reporting
+// and the knob-monotonicity tests.
+type Stats struct {
+	Lines          int `json:"lines"`
+	Procs          int `json:"procs"`
+	Loops          int `json:"loops"`
+	AliasedLoops   int `json:"aliased_loops"`
+	ReductionStmts int `json:"reduction_stmts"`
+	TempStmts      int `json:"temp_stmts"`
+	HelperCalls    int `json:"helper_calls"`
+}
+
+// Manifest pins down one generated program: (Seed, Config) regenerate it
+// bit-for-bit, and SHA256 proves the regeneration matched.
+type Manifest struct {
+	Name   string `json:"name"`
+	Seed   int64  `json:"seed"`
+	Config Config `json:"config"`
+	Stats  Stats  `json:"stats"`
+	SHA256 string `json:"sha256"`
+}
+
+// Program is one factory output.
+type Program struct {
+	Name     string
+	Source   string
+	Manifest Manifest
+}
+
+// Reproduce regenerates the program the manifest describes and verifies it
+// is byte-identical to the original.
+func (m Manifest) Reproduce() (*Program, error) {
+	p := Generate(m.Seed, m.Config)
+	if p.Manifest.SHA256 != m.SHA256 {
+		return nil, fmt.Errorf("corpus: manifest %s: regenerated source hash %s does not match recorded %s",
+			m.Name, p.Manifest.SHA256, m.SHA256)
+	}
+	return p, nil
+}
+
+// normalize clamps a config into the factory's supported envelope.
+func normalize(cfg Config) Config {
+	clampI := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	clampF := func(v float64) float64 {
+		if v < 0 || v != v { // NaN guards: a fuzzer will find it otherwise
+			return 0
+		}
+		if v > 1 {
+			return 1
+		}
+		return v
+	}
+	if cfg.TargetLines == 0 {
+		cfg.TargetLines = 1000
+	}
+	cfg.TargetLines = clampI(cfg.TargetLines, 200, 200000)
+	if cfg.CallDepth == 0 {
+		cfg.CallDepth = 2
+	}
+	cfg.CallDepth = clampI(cfg.CallDepth, 1, 8)
+	if cfg.CallFanout == 0 {
+		cfg.CallFanout = 2
+	}
+	cfg.CallFanout = clampI(cfg.CallFanout, 1, 8)
+	if cfg.LoopDepth == 0 {
+		cfg.LoopDepth = 2
+	}
+	cfg.LoopDepth = clampI(cfg.LoopDepth, 1, 3)
+	cfg.AliasDensity = clampF(cfg.AliasDensity)
+	cfg.ReductionMix = clampF(cfg.ReductionMix)
+	if cfg.TripLo == 0 {
+		cfg.TripLo = 2
+	}
+	cfg.TripLo = clampI(cfg.TripLo, 2, 400)
+	if cfg.TripHi == 0 {
+		cfg.TripHi = 10
+	}
+	cfg.TripHi = clampI(cfg.TripHi, cfg.TripLo, 400)
+	if cfg.MaxNestIters == 0 {
+		cfg.MaxNestIters = 4096
+	}
+	cfg.MaxNestIters = clampI(cfg.MaxNestIters, 16, 1<<20)
+	return cfg
+}
+
+// ---- splittable randomness ----
+
+// Decision-site namespaces. Structural draws (shape, trip counts, constant
+// pools) and knob draws (alias, mix) live in disjoint namespaces so a knob
+// change cannot perturb program shape.
+const (
+	tagShape = iota + 1
+	tagTrip
+	tagAlias
+	tagMix
+	tagKind
+	tagConst
+	tagBlock
+)
+
+func sm64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+type gen struct {
+	seed int64
+	cfg  Config
+	sb   strings.Builder
+	st   Stats
+
+	na  int // shared/local 1-D array extent
+	lbl int // per-proc label counter
+
+	// Per-proc nest accounting: sizing counts every nest's alias-statement
+	// slot whether or not the knob filled it, so the procedure count — and
+	// with it the whole program shape — is independent of AliasDensity.
+	procNests   int
+	procAliased int
+}
+
+// h hashes the seed with a decision-site tag path.
+func (g *gen) h(tags ...int) uint64 {
+	x := sm64(uint64(g.seed))
+	for _, t := range tags {
+		x = sm64(x ^ sm64(uint64(int64(t))))
+	}
+	return x
+}
+
+// intn returns a value in [0, n) for the decision site.
+func (g *gen) intn(n int, tags ...int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(g.h(tags...) % uint64(n))
+}
+
+// unit returns a float in [0, 1) for the decision site.
+func (g *gen) unit(tags ...int) float64 {
+	return float64(g.h(tags...)>>11) / float64(1<<53)
+}
+
+func (g *gen) linef(format string, args ...interface{}) {
+	fmt.Fprintf(&g.sb, format+"\n", args...)
+}
+
+func (g *gen) label() int {
+	g.lbl += 10
+	return g.lbl
+}
+
+// cst emits a small positive real constant literal from the structural
+// constant pool: one digit before and after the point, never zero.
+func (g *gen) cst(tags ...int) string {
+	h := g.h(append([]int{tagConst}, tags...)...)
+	a := int(h % 9)
+	b := int((h >> 8) % 9)
+	if a == 0 && b == 0 {
+		b = 5
+	}
+	return fmt.Sprintf("%d.%d", a, b)
+}
+
+// ---- generation ----
+
+const numBlocks = 4 // shared COMMON blocks /GC0/../GC3/
+
+// Generate builds the program for (seed, cfg). Same inputs, same bytes.
+func Generate(seed int64, cfg Config) *Program {
+	cfg = normalize(cfg)
+	g := &gen{seed: seed, cfg: cfg}
+	g.na = cfg.TripHi + 2
+	if g.na < 16 {
+		g.na = 16
+	}
+
+	// Emit the two fixed leaf helpers and every compute procedure into
+	// separate buffers first; the call edges and the main program are
+	// assembled afterwards, once the procedure count is known.
+	helpers := g.emitHelpers()
+
+	var procs []string
+	lines := strings.Count(helpers, "\n") + 14 + 3*numBlocks // helper + main overhead estimate
+	for lines < cfg.TargetLines {
+		p := len(procs)
+		body := g.emitProc(p)
+		procs = append(procs, body)
+		// +1 for the CALL reaching it; unfilled alias slots count as if
+		// emitted so the sizing loop is knob-independent.
+		lines += strings.Count(body, "\n") + 1 + (g.procNests - g.procAliased)
+	}
+	if len(procs) == 0 {
+		procs = append(procs, g.emitProc(0))
+	}
+
+	// Arrange procedures into CallFanout-ary trees of height CallDepth
+	// (heap indexing inside each tree span handles a partial last tree).
+	treeSize := 0
+	for d, pow := 0, 1; d < cfg.CallDepth; d++ {
+		treeSize += pow
+		pow *= cfg.CallFanout
+		if treeSize > len(procs) { // deeper than we have procs; stop growing
+			break
+		}
+	}
+	if treeSize < 1 {
+		treeSize = 1
+	}
+	var roots []int
+	calls := make([][]int, len(procs))
+	for base := 0; base < len(procs); base += treeSize {
+		span := len(procs) - base
+		if span > treeSize {
+			span = treeSize
+		}
+		roots = append(roots, base)
+		for l := 0; l < span; l++ {
+			for c := 0; c < cfg.CallFanout; c++ {
+				child := cfg.CallFanout*l + 1 + c
+				if child < span {
+					calls[base+l] = append(calls[base+l], base+child)
+				}
+			}
+		}
+	}
+
+	// Assemble: helpers, procedures (with their call edges spliced in
+	// before END), then the main program driving every tree root.
+	g.sb.Reset()
+	g.sb.WriteString(helpers)
+	for p, body := range procs {
+		var callLines strings.Builder
+		for _, callee := range calls[p] {
+			fmt.Fprintf(&callLines, "      CALL SP%d(%s)\n", callee, g.cst(p, callee))
+		}
+		g.sb.WriteString(strings.Replace(body, "      END\n", callLines.String()+"      END\n", 1))
+	}
+	g.emitMain(roots)
+
+	src := g.sb.String()
+	g.st.Lines = strings.Count(src, "\n")
+	g.st.Procs = len(procs) + 3 // + helpers + main
+	name := fmt.Sprintf("corpus-%d-%dl", seed, cfg.TargetLines)
+	sum := sha256.Sum256([]byte(src))
+	return &Program{
+		Name:   name,
+		Source: src,
+		Manifest: Manifest{
+			Name:   name,
+			Seed:   seed,
+			Config: cfg,
+			Stats:  g.st,
+			SHA256: hex.EncodeToString(sum[:]),
+		},
+	}
+}
+
+// emitHelpers writes the two fixed leaf subroutines that aliased loops call
+// interprocedurally. Both touch the shared /GWK/ work array, so any loop
+// calling them carries a cross-iteration COMMON conflict (the mdg
+// dists/vforce pattern).
+func (g *gen) emitHelpers() string {
+	g.sb.Reset()
+	g.linef("C     corpus factory output — regenerate from (seed, config); do not edit")
+	g.linef("      SUBROUTINE WH0(V)")
+	g.linef("      REAL V")
+	g.linef("      COMMON /GWK/ GW(%d)", g.na)
+	g.linef("      INTEGER I")
+	g.linef("      DO 10 I = 1, 8")
+	g.linef("        GW(I) = GW(I) + V * 0.125 + I * 0.5")
+	g.linef("10    CONTINUE")
+	g.linef("      END")
+	g.linef("")
+	g.linef("      SUBROUTINE WH1(V)")
+	g.linef("      REAL V")
+	g.linef("      COMMON /GWK/ GW(%d)", g.na)
+	g.linef("      INTEGER I")
+	g.linef("      DO 10 I = 1, 6")
+	g.linef("        GW(I) = V * 0.5 + I * 0.25")
+	g.linef("10    CONTINUE")
+	g.linef("      END")
+	g.linef("")
+	return g.sb.String()
+}
+
+// idxVars are the loop indices by nest level.
+var idxVars = [3]string{"I", "J", "K"}
+
+// emitProc writes one compute procedure (without its call edges).
+func (g *gen) emitProc(p int) string {
+	g.sb.Reset()
+	g.lbl = 0
+	g.procNests = 0
+	g.procAliased = 0
+
+	// Each procedure uses one or two of the shared COMMON blocks, chosen
+	// structurally so the aliasing knob cannot reshape declarations.
+	b0 := g.intn(numBlocks, tagBlock, p, 0)
+	b1 := (b0 + 1 + g.intn(numBlocks-1, tagBlock, p, 1)) % numBlocks
+	twoBlocks := g.intn(2, tagBlock, p, 2) == 1
+
+	g.linef("      SUBROUTINE SP%d(U)", p)
+	g.linef("      REAL U")
+	g.linef("      REAL LA0(%d), LA1(%d), LB(12,12), S0, T0", g.na, g.na)
+	g.linef("      INTEGER I, J, K")
+	g.linef("      COMMON /GC%d/ GS%d(%d), GT%d", b0, b0, g.na, b0)
+	if twoBlocks {
+		g.linef("      COMMON /GC%d/ GS%d(%d), GT%d", b1, b1, g.na, b1)
+	}
+
+	// Local init: everything read in loop bodies is defined first.
+	l := g.label()
+	// The modulus comes from a prime pool strictly above the multiplier
+	// range so MOD(I*c1, c2) is never identically zero (c1 | c2 would make
+	// the whole init degenerate).
+	c1 := 3 + g.intn(11, tagShape, p, 90)
+	c2 := [5]int{17, 19, 23, 29, 31}[g.intn(5, tagShape, p, 91)]
+	g.linef("      S0 = 0.0")
+	g.linef("      T0 = 0.0")
+	g.linef("      DO %d I = 1, %d", l, g.na)
+	g.linef("        LA1(I) = MOD(I * %d, %d) * 0.25 + U * 0.125", c1, c2)
+	g.linef("        LA0(I) = 0.0")
+	g.linef("%-6dCONTINUE", l)
+	g.st.Loops++
+
+	nests := 2 + g.intn(3, tagShape, p, 0)
+	for n := 0; n < nests; n++ {
+		g.emitNest(p, n, b0, b1, twoBlocks)
+	}
+	g.linef("      END")
+	g.linef("")
+	return g.sb.String()
+}
+
+// emitNest writes one loop nest of hash-chosen depth and trip counts.
+func (g *gen) emitNest(p, n, b0, b1 int, twoBlocks bool) {
+	depth := 1 + g.intn(g.cfg.LoopDepth, tagShape, p, n, 1)
+	// Trip counts: uniform in [TripLo, TripHi], clamped so the nest's
+	// iteration product stays under MaxNestIters.
+	trips := make([]int, depth)
+	product := 1
+	for d := 0; d < depth; d++ {
+		t := g.cfg.TripLo + g.intn(g.cfg.TripHi-g.cfg.TripLo+1, tagTrip, p, n, d)
+		for t > 2 && product*t > g.cfg.MaxNestIters {
+			t = t / 2
+		}
+		if product*t > g.cfg.MaxNestIters {
+			t = 2
+		}
+		trips[d] = t
+		product *= t
+	}
+
+	aliased := g.unit(tagAlias, p, n) < g.cfg.AliasDensity
+	// An aliased nest conflicts either directly on a shared array or
+	// through a helper call; the coin is structural so the two flavors
+	// both appear at any density.
+	aliasViaCall := g.intn(2, tagShape, p, n, 2) == 1
+
+	labels := make([]int, depth)
+	for d := 0; d < depth; d++ {
+		labels[d] = g.label()
+		g.linef("%s DO %d %s = 1, %d", strings.Repeat("  ", d+3), labels[d], idxVars[d], trips[d])
+		g.st.Loops++
+	}
+	g.procNests++
+	if aliased {
+		g.st.AliasedLoops++
+		g.procAliased++
+	}
+
+	ind := strings.Repeat("  ", depth+3) + "  "
+	v := idxVars[depth-1] // innermost index
+	blk := b0
+	if twoBlocks && g.intn(2, tagShape, p, n, 3) == 1 {
+		blk = b1
+	}
+
+	if aliased {
+		if aliasViaCall {
+			g.linef("%sCALL WH%d(LA1(%s))", ind, g.intn(2, tagShape, p, n, 4), v)
+			g.st.HelperCalls++
+		} else {
+			g.linef("%sGS%d(%s) = GS%d(%s + 1) * 0.5 + %s", ind, blk, v, blk, v, g.cst(p, n, 0))
+		}
+	}
+
+	stmts := 2 + g.intn(3, tagShape, p, n, 5)
+	for s := 0; s < stmts; s++ {
+		g.emitStmt(ind, p, n, s, v, depth, trips, blk)
+	}
+	for d := depth - 1; d >= 0; d-- {
+		g.linef("%-6d%sCONTINUE", labels[d], strings.Repeat("  ", d))
+	}
+}
+
+// emitStmt writes one innermost-body statement. The reduction-vs-
+// privatization knob decides between a sum reduction and a temporary
+// chain; the remaining kinds (independent write, guarded update, 2-D
+// write) come from the structural pool.
+func (g *gen) emitStmt(ind string, p, n, s int, v string, depth int, trips []int, blk int) {
+	if g.unit(tagMix, p, n, s) < g.cfg.ReductionMix {
+		g.st.ReductionStmts++
+		if g.intn(2, tagKind, p, n, s, 0) == 0 {
+			g.linef("%sS0 = S0 + LA1(%s) * %s", ind, v, g.cst(p, n, s, 1))
+		} else {
+			g.linef("%sGT%d = GT%d + LA1(%s) * %s", ind, blk, blk, v, g.cst(p, n, s, 2))
+		}
+		return
+	}
+	switch g.intn(4, tagKind, p, n, s, 1) {
+	case 0: // privatizable temporary chain
+		g.st.TempStmts++
+		g.linef("%sT0 = LA1(%s) * %s + U", ind, v, g.cst(p, n, s, 3))
+		g.linef("%sLA0(%s) = T0 + T0 * %s", ind, v, g.cst(p, n, s, 4))
+	case 1: // independent elementwise write
+		g.linef("%sLA0(%s) = LA1(%s) * %s + %s", ind, v, v, g.cst(p, n, s, 5), g.cst(p, n, s, 6))
+	case 2: // guarded update (control-dependent write)
+		g.linef("%sIF (LA1(%s) .GT. %s) LA0(%s) = LA1(%s) + %s",
+			ind, v, g.cst(p, n, s, 7), v, v, g.cst(p, n, s, 8))
+	default:
+		if depth >= 2 && trips[depth-1] <= 11 && trips[depth-2] <= 11 {
+			// 2-D write indexed by the two innermost levels: distinct
+			// cells per iteration pair.
+			g.linef("%sLB(%s, %s) = LB(%s, %s) * 0.5 + LA1(%s) * %s",
+				ind, v, idxVars[depth-2], v, idxVars[depth-2], v, g.cst(p, n, s, 9))
+		} else {
+			g.linef("%sLA0(%s) = LA0(%s) * 0.75 + %s", ind, v, v, g.cst(p, n, s, 10))
+		}
+	}
+}
+
+// emitMain writes the driver program: init every shared block, call every
+// tree root, print a digest of the shared state.
+func (g *gen) emitMain(roots []int) {
+	g.lbl = 0
+	g.linef("      PROGRAM CORPUS")
+	for b := 0; b < numBlocks; b++ {
+		g.linef("      COMMON /GC%d/ GS%d(%d), GT%d", b, b, g.na, b)
+	}
+	g.linef("      COMMON /GWK/ GW(%d)", g.na)
+	g.linef("      INTEGER I")
+	l := g.label()
+	g.linef("      DO %d I = 1, %d", l, g.na)
+	for b := 0; b < numBlocks; b++ {
+		g.linef("        GS%d(I) = MOD(I * %d, %d) * 0.5", b, 3+2*b, 11+b)
+	}
+	g.linef("        GW(I) = 0.0")
+	g.linef("%-6dCONTINUE", l)
+	g.st.Loops++
+	for _, r := range roots {
+		g.linef("      CALL SP%d(%s)", r, g.cst(r, -1))
+	}
+	g.linef("      WRITE(*,*) GT0, GT1, GT2, GT3, GS0(1), GS1(2), GW(1)")
+	g.linef("      END")
+}

@@ -1,0 +1,75 @@
+package corpus_test
+
+import (
+	"testing"
+
+	"suifx/internal/corpus"
+	"suifx/internal/minif"
+)
+
+// FuzzGenerate drives the factory itself with arbitrary knob settings: for
+// any (seed, config), Generate must return a program that parses, and its
+// manifest must reproduce the source bit-for-bit. This is the structured
+// complement of the parser fuzzer — instead of mutating source text, it
+// mutates the generator's decision space.
+func FuzzGenerate(f *testing.F) {
+	f.Add(int64(1), 200, 0.0, 0.0, 0, 0, 0, 0, 0)
+	f.Add(int64(42), 800, 0.3, 0.4, 2, 2, 2, 2, 10)
+	f.Add(int64(7), 1500, 1.0, 1.0, 5, 3, 3, 1, 16)
+	f.Add(int64(-3), 50, 0.5, 0.5, 1, 1, 1, 3, 3)
+
+	f.Fuzz(func(t *testing.T, seed int64, lines int, alias, mix float64,
+		depth, fanout, loopDepth, tripLo, tripHi int) {
+		// Clamp to the documented knob domain — out-of-range configs are a
+		// caller bug, not a generator obligation. The interesting space is
+		// everything inside it.
+		if lines < 10 || lines > 3000 {
+			lines = 10 + (abs(lines) % 2991)
+		}
+		cfg := corpus.Config{
+			TargetLines:  lines,
+			AliasDensity: clamp01(alias),
+			ReductionMix: clamp01(mix),
+			CallDepth:    abs(depth) % 6,
+			CallFanout:   abs(fanout) % 4,
+			LoopDepth:    abs(loopDepth) % 4,
+			TripLo:       abs(tripLo)%16 + 1,
+			TripHi:       abs(tripHi)%16 + 1,
+		}
+		if cfg.TripHi < cfg.TripLo {
+			cfg.TripLo, cfg.TripHi = cfg.TripHi, cfg.TripLo
+		}
+		p := corpus.Generate(seed, cfg)
+		if _, err := minif.Parse(p.Name, p.Source); err != nil {
+			t.Fatalf("generated program does not parse: %v\nseed=%d cfg=%+v\n%s",
+				err, seed, cfg, p.Source)
+		}
+		rep, err := p.Manifest.Reproduce()
+		if err != nil {
+			t.Fatalf("manifest does not reproduce: %v (seed=%d cfg=%+v)", err, seed, cfg)
+		}
+		if rep.Source != p.Source {
+			t.Fatalf("reproduction differs from original (seed=%d cfg=%+v)", seed, cfg)
+		}
+	})
+}
+
+func clamp01(x float64) float64 {
+	if !(x >= 0) { // catches NaN too
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func abs(n int) int {
+	if n < 0 {
+		if n == -n { // min int
+			return 0
+		}
+		return -n
+	}
+	return n
+}

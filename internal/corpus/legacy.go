@@ -1,0 +1,265 @@
+// The two seeded generators that predate the corpus factory, moved here
+// verbatim from their test-local homes so every harness draws programs from
+// one package. Their draw sequences are preserved exactly — both consume a
+// sequential math/rand stream, so any change to the order or number of
+// draws would shift every program behind a seed and silently re-aim the
+// existing differential and soundness coverage.
+
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// ---- exec differential generator (was progGen in internal/exec) ----
+
+// diffGen emits random but valid-by-construction MiniF programs: all array
+// indices provably in bounds, no division, no unknown callees — so every
+// generated program must run identically (and successfully) on both
+// engines.
+type diffGen struct {
+	r   *rand.Rand
+	sb  strings.Builder
+	lbl int
+}
+
+func (g *diffGen) linef(format string, args ...interface{}) {
+	fmt.Fprintf(&g.sb, format+"\n", args...)
+}
+
+func (g *diffGen) label() int {
+	g.lbl += 10
+	return g.lbl
+}
+
+// scalar/array pools. Arrays are all REAL a?(30) or 2-D (6,6); loop bounds
+// stay within 1..6 so idx expressions up to i*2+7 and 30-i stay in bounds.
+var diffScalars = []string{"x", "y", "z", "w"}
+var diffIvars = []string{"i", "j", "k"}
+var diffArrs1 = []string{"a1", "a2", "c1"}
+var diffArrs2 = []string{"b1", "c2"}
+
+func (g *diffGen) pick(ss []string) string { return ss[g.r.Intn(len(ss))] }
+
+// idxExpr yields an index expression with value in [1,30] given every loop
+// variable stays in [0,6] (uninitialized integers are 0).
+func (g *diffGen) idxExpr() string {
+	v := g.pick(diffIvars)
+	switch g.r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%d", 1+g.r.Intn(6))
+	case 1:
+		return v + " + 1"
+	case 2:
+		return fmt.Sprintf("%s + %d", v, 1+g.r.Intn(3))
+	case 3:
+		return "30 - " + v
+	case 4:
+		return fmt.Sprintf("%s * 2 + %d", v, 1+g.r.Intn(5))
+	default:
+		return v + " + 1"
+	}
+}
+
+// idx2Expr yields an index in [1,6].
+func (g *diffGen) idx2Expr() string {
+	if g.r.Intn(2) == 0 {
+		return fmt.Sprintf("%d", 1+g.r.Intn(6))
+	}
+	return g.pick(diffIvars) + " + 1"
+}
+
+func (g *diffGen) valExpr(depth int) string {
+	if depth > 2 {
+		if g.r.Intn(2) == 0 {
+			return g.pick(diffScalars)
+		}
+		return fmt.Sprintf("%d.%d", g.r.Intn(9), g.r.Intn(9))
+	}
+	switch g.r.Intn(9) {
+	case 0:
+		return g.pick(diffScalars)
+	case 1:
+		return fmt.Sprintf("%s(%s)", g.pick(diffArrs1), g.idxExpr())
+	case 2:
+		return fmt.Sprintf("%s(%s, %s)", g.pick(diffArrs2), g.idx2Expr(), g.idx2Expr())
+	case 3:
+		return fmt.Sprintf("(%s + %s)", g.valExpr(depth+1), g.valExpr(depth+1))
+	case 4:
+		return fmt.Sprintf("(%s - %s)", g.valExpr(depth+1), g.valExpr(depth+1))
+	case 5:
+		return fmt.Sprintf("(%s * %s)", g.valExpr(depth+1), g.valExpr(depth+1))
+	case 6:
+		in := []string{"ABS", "SIN", "COS", "INT"}[g.r.Intn(4)]
+		return fmt.Sprintf("%s(%s)", in, g.valExpr(depth+1))
+	case 7:
+		return fmt.Sprintf("MIN(%s, %s)", g.valExpr(depth+1), g.valExpr(depth+1))
+	case 8:
+		return fmt.Sprintf("SQRT(ABS(%s))", g.valExpr(depth+1))
+	}
+	return "1.0"
+}
+
+func (g *diffGen) condExpr(depth int) string {
+	rel := []string{".LT.", ".LE.", ".GT.", ".GE.", ".EQ.", ".NE."}[g.r.Intn(6)]
+	base := fmt.Sprintf("(%s %s %s)", g.valExpr(2), rel, g.valExpr(2))
+	if depth > 1 {
+		return base
+	}
+	switch g.r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("(%s .AND. %s)", base, g.condExpr(depth+1))
+	case 1:
+		return fmt.Sprintf("(%s .OR. %s)", base, g.condExpr(depth+1))
+	case 2:
+		return "(.NOT. " + base + ")"
+	default:
+		return base
+	}
+}
+
+func (g *diffGen) lhs() string {
+	switch g.r.Intn(3) {
+	case 0:
+		return g.pick(diffScalars)
+	case 1:
+		return fmt.Sprintf("%s(%s)", g.pick(diffArrs1), g.idxExpr())
+	default:
+		return fmt.Sprintf("%s(%s, %s)", g.pick(diffArrs2), g.idx2Expr(), g.idx2Expr())
+	}
+}
+
+func (g *diffGen) stmt(depth, loopDepth int, inSub bool) {
+	n := g.r.Intn(10)
+	switch {
+	case n < 4 || depth > 3:
+		g.linef("        %s = %s", g.lhs(), g.valExpr(0))
+	case n < 6 && loopDepth < 3:
+		g.loop(depth, loopDepth, inSub)
+	case n < 8:
+		g.linef("        IF %s THEN", g.condExpr(0))
+		for i := 0; i < 1+g.r.Intn(2); i++ {
+			g.stmt(depth+1, loopDepth, inSub)
+		}
+		if g.r.Intn(2) == 0 {
+			g.linef("        ELSE")
+			g.stmt(depth+1, loopDepth, inSub)
+		}
+		g.linef("        ENDIF")
+	case n == 8 && !inSub:
+		g.linef("        CALL sub%d(%s, %s, %s)", 1+g.r.Intn(2),
+			g.pick(diffArrs1), g.pick(diffScalars), g.valExpr(1))
+	default:
+		g.linef("        WRITE(*,*) %s", g.valExpr(1))
+	}
+}
+
+func (g *diffGen) loop(depth, loopDepth int, inSub bool) {
+	l := g.label()
+	v := diffIvars[loopDepth]
+	// Bounds keep every induction variable in [0,5] at all times, including
+	// the post-loop overshoot (DO v = 1, 4 leaves v = 5), so index
+	// expressions built from them stay in range.
+	switch g.r.Intn(3) {
+	case 0:
+		g.linef("        DO %d %s = 1, %d", l, v, 2+g.r.Intn(3))
+	case 1:
+		g.linef("        DO %d %s = %d, 1, -1", l, v, 2+g.r.Intn(3))
+	default:
+		g.linef("        DO %d %s = 1, 4, 2", l, v)
+	}
+	for i := 0; i < 1+g.r.Intn(3); i++ {
+		g.stmt(depth+1, loopDepth+1, inSub)
+	}
+	g.linef("%-8dCONTINUE", l)
+}
+
+func (g *diffGen) decls() {
+	g.linef("      COMMON /blk/ c1(30), c2(6,6), cs")
+	g.linef("      REAL x, y, z, w, a1(30), a2(30), b1(6,6)")
+	g.linef("      INTEGER i, j, k")
+}
+
+// DiffProgram is the exec differential suite's generator: small programs
+// with two subroutines, nested control flow, 1-D and 2-D arrays, and I/O,
+// built so both engines must run them successfully and identically.
+func DiffProgram(seed int64) string {
+	g := &diffGen{r: rand.New(rand.NewSource(seed))}
+	for s := 1; s <= 2; s++ {
+		g.linef("      SUBROUTINE sub%d(p, q, r)", s)
+		g.linef("      REAL p(30), q, r")
+		g.decls()
+		for i := 0; i < 2+g.r.Intn(3); i++ {
+			g.stmt(0, 0, true)
+		}
+		if g.r.Intn(3) == 0 {
+			g.linef("        IF %s THEN", g.condExpr(0))
+			g.linef("        RETURN")
+			g.linef("        ENDIF")
+		}
+		g.linef("        q = q + r + p(1)")
+		g.linef("      END")
+		g.linef("")
+	}
+	g.linef("      PROGRAM rnd")
+	g.decls()
+	g.linef("        x = 1.5")
+	g.linef("        y = 0.25")
+	for i := 0; i < 3+g.r.Intn(5); i++ {
+		g.stmt(0, 0, false)
+	}
+	g.linef("        WRITE(*,*) x, y, z, w, cs")
+	g.linef("      END")
+	return g.sb.String()
+}
+
+// ---- pipeline soundness generator (was genProgram in experiments) ----
+
+// PipelineProgram builds a random MiniF program from a small grammar of
+// loop bodies: independent writes, covered temporaries, scalar and array
+// reductions, guarded updates, and genuine recurrences. Whatever the
+// parallelizer approves must execute identically in parallel — the
+// DESIGN.md end-to-end soundness invariant.
+func PipelineProgram(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("      PROGRAM rnd\n")
+	b.WriteString("      REAL a(128), b(128), c(128), s, t\n")
+	b.WriteString("      INTEGER i, j, k\n")
+	b.WriteString("      s = 0.0\n      t = 1.0\n")
+	b.WriteString("      DO 5 i = 1, 128\n")
+	fmt.Fprintf(&b, "        a(i) = MOD(i * %d, 53) * 0.25\n", 3+r.Intn(40))
+	b.WriteString("        b(i) = 1.0\n        c(i) = 0.0\n5     CONTINUE\n")
+
+	bodies := []string{
+		"        b(i) = a(i) * 2.0 + 1.0\n",
+		"        c(i) = a(i) + b(i)\n",
+		"        t = a(i) * 0.5\n        b(i) = t + c(i)\n",
+		"        s = s + a(i) * 0.125\n",
+		"        IF (a(i) .GT. 6.0) c(i) = a(i)\n",
+		"        c(i) = c(i) + b(i) * 0.25\n",
+		"        IF (a(i) .LT. s) s = a(i)\n",
+		"        b(i) = b(i-1) + a(i)\n", // recurrence: must stay sequential
+		"        DO %d j = 1, 16\n          c(j) = a(i) + j\n%d      CONTINUE\n        b(i) = c(1) + c(16)\n",
+	}
+	nloops := 2 + r.Intn(4)
+	label := 100
+	for n := 0; n < nloops; n++ {
+		lo := 2
+		fmt.Fprintf(&b, "      DO %d i = %d, 128\n", label, lo)
+		nst := 1 + r.Intn(3)
+		for k := 0; k < nst; k++ {
+			body := bodies[r.Intn(len(bodies))]
+			if strings.Contains(body, "%d") {
+				inner := label + 50 + k
+				body = fmt.Sprintf(body, inner, inner)
+			}
+			b.WriteString(body)
+		}
+		fmt.Fprintf(&b, "%d   CONTINUE\n", label)
+		label += 100
+	}
+	b.WriteString("      WRITE(*,*) s, t, b(5), c(7)\n      END\n")
+	return b.String()
+}

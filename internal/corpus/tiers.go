@@ -1,0 +1,64 @@
+package corpus
+
+// Tier is one named point on the scale ladder: a recorded (seed, config)
+// pair whose program regenerates bit-for-bit anywhere. The seeds are
+// arbitrary but frozen — BENCH_scale.json rows and CI failures both
+// reproduce from the tier name alone.
+type Tier struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+	Cfg  Config `json:"config"`
+}
+
+// Generate builds the tier's program.
+func (t Tier) Generate() *Program { return Generate(t.Seed, t.Cfg) }
+
+// SizeLadder is the standard scale ladder: four program sizes spanning
+// roughly 1k to 50k source lines, with the structural knobs growing along
+// the ladder the way real applications do (deeper call trees, more fanout).
+// The aliasing and reduction knobs stay mid-range so every tier carries a
+// mix of parallel, privatizable, reduction, and blocked loops.
+func SizeLadder() []Tier {
+	return []Tier{
+		{Name: "1k", Seed: 1001, Cfg: Config{
+			TargetLines: 1000, CallDepth: 2, CallFanout: 2, LoopDepth: 2,
+			AliasDensity: 0.2, ReductionMix: 0.3, TripLo: 2, TripHi: 10,
+		}},
+		{Name: "5k", Seed: 1005, Cfg: Config{
+			TargetLines: 5000, CallDepth: 3, CallFanout: 2, LoopDepth: 2,
+			AliasDensity: 0.2, ReductionMix: 0.3, TripLo: 2, TripHi: 12,
+		}},
+		{Name: "20k", Seed: 1020, Cfg: Config{
+			TargetLines: 20000, CallDepth: 3, CallFanout: 3, LoopDepth: 3,
+			AliasDensity: 0.25, ReductionMix: 0.3, TripLo: 2, TripHi: 12,
+		}},
+		{Name: "50k", Seed: 1050, Cfg: Config{
+			TargetLines: 50000, CallDepth: 4, CallFanout: 3, LoopDepth: 3,
+			AliasDensity: 0.25, ReductionMix: 0.3, TripLo: 2, TripHi: 12,
+		}},
+	}
+}
+
+// FullLadder extends SizeLadder with the 100k-line stress tier used by the
+// non-short scale experiments (too slow for every CI run, cheap enough for
+// the scale-smoke job's single pass).
+func FullLadder() []Tier {
+	return append(SizeLadder(), Tier{Name: "100k", Seed: 1100, Cfg: Config{
+		TargetLines: 100000, CallDepth: 5, CallFanout: 3, LoopDepth: 3,
+		AliasDensity: 0.25, ReductionMix: 0.3, TripLo: 2, TripHi: 12,
+	}})
+}
+
+// QuickLadder is the -short ladder: the smallest two tiers, enough to keep
+// the size-scaling path exercised on every developer test run.
+func QuickLadder() []Tier { return SizeLadder()[:2] }
+
+// TierByName finds a ladder tier.
+func TierByName(name string) (Tier, bool) {
+	for _, t := range FullLadder() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Tier{}, false
+}

@@ -9,10 +9,10 @@ import (
 	"bytes"
 	"fmt"
 	"math"
-	"math/rand"
 	"strings"
 	"testing"
 
+	"suifx/internal/corpus"
 	"suifx/internal/exec"
 	"suifx/internal/minif"
 	"suifx/internal/workloads"
@@ -243,202 +243,10 @@ func TestDifferentialErrors(t *testing.T) {
 
 // ---- random program quick-check ----
 
-// progGen emits random but valid-by-construction MiniF programs: all array
-// indices provably in bounds, no division, no unknown callees — so every
-// generated program must run identically (and successfully) on both
-// engines.
-type progGen struct {
-	r   *rand.Rand
-	sb  strings.Builder
-	lbl int
-}
-
-func (g *progGen) linef(format string, args ...interface{}) {
-	fmt.Fprintf(&g.sb, format+"\n", args...)
-}
-
-func (g *progGen) label() int {
-	g.lbl += 10
-	return g.lbl
-}
-
-// scalar/array pools. Arrays are all REAL a?(30) or 2-D (6,6); loop bounds
-// stay within 1..6 so idx expressions up to i*2+7 and 30-i stay in bounds.
-var scalars = []string{"x", "y", "z", "w"}
-var ivars = []string{"i", "j", "k"}
-var arrs1 = []string{"a1", "a2", "c1"}
-var arrs2 = []string{"b1", "c2"}
-
-func (g *progGen) pick(ss []string) string { return ss[g.r.Intn(len(ss))] }
-
-// idxExpr yields an index expression with value in [1,30] given every loop
-// variable stays in [0,6] (uninitialized integers are 0).
-func (g *progGen) idxExpr() string {
-	v := g.pick(ivars)
-	switch g.r.Intn(6) {
-	case 0:
-		return fmt.Sprintf("%d", 1+g.r.Intn(6))
-	case 1:
-		return v + " + 1"
-	case 2:
-		return fmt.Sprintf("%s + %d", v, 1+g.r.Intn(3))
-	case 3:
-		return "30 - " + v
-	case 4:
-		return fmt.Sprintf("%s * 2 + %d", v, 1+g.r.Intn(5))
-	default:
-		return v + " + 1"
-	}
-}
-
-// idx2Expr yields an index in [1,6].
-func (g *progGen) idx2Expr() string {
-	if g.r.Intn(2) == 0 {
-		return fmt.Sprintf("%d", 1+g.r.Intn(6))
-	}
-	return g.pick(ivars) + " + 1"
-}
-
-func (g *progGen) valExpr(depth int) string {
-	if depth > 2 {
-		if g.r.Intn(2) == 0 {
-			return g.pick(scalars)
-		}
-		return fmt.Sprintf("%d.%d", g.r.Intn(9), g.r.Intn(9))
-	}
-	switch g.r.Intn(9) {
-	case 0:
-		return g.pick(scalars)
-	case 1:
-		return fmt.Sprintf("%s(%s)", g.pick(arrs1), g.idxExpr())
-	case 2:
-		return fmt.Sprintf("%s(%s, %s)", g.pick(arrs2), g.idx2Expr(), g.idx2Expr())
-	case 3:
-		return fmt.Sprintf("(%s + %s)", g.valExpr(depth+1), g.valExpr(depth+1))
-	case 4:
-		return fmt.Sprintf("(%s - %s)", g.valExpr(depth+1), g.valExpr(depth+1))
-	case 5:
-		return fmt.Sprintf("(%s * %s)", g.valExpr(depth+1), g.valExpr(depth+1))
-	case 6:
-		in := []string{"ABS", "SIN", "COS", "INT"}[g.r.Intn(4)]
-		return fmt.Sprintf("%s(%s)", in, g.valExpr(depth+1))
-	case 7:
-		return fmt.Sprintf("MIN(%s, %s)", g.valExpr(depth+1), g.valExpr(depth+1))
-	case 8:
-		return fmt.Sprintf("SQRT(ABS(%s))", g.valExpr(depth+1))
-	}
-	return "1.0"
-}
-
-func (g *progGen) condExpr(depth int) string {
-	rel := []string{".LT.", ".LE.", ".GT.", ".GE.", ".EQ.", ".NE."}[g.r.Intn(6)]
-	base := fmt.Sprintf("(%s %s %s)", g.valExpr(2), rel, g.valExpr(2))
-	if depth > 1 {
-		return base
-	}
-	switch g.r.Intn(4) {
-	case 0:
-		return fmt.Sprintf("(%s .AND. %s)", base, g.condExpr(depth+1))
-	case 1:
-		return fmt.Sprintf("(%s .OR. %s)", base, g.condExpr(depth+1))
-	case 2:
-		return "(.NOT. " + base + ")"
-	default:
-		return base
-	}
-}
-
-func (g *progGen) lhs() string {
-	switch g.r.Intn(3) {
-	case 0:
-		return g.pick(scalars)
-	case 1:
-		return fmt.Sprintf("%s(%s)", g.pick(arrs1), g.idxExpr())
-	default:
-		return fmt.Sprintf("%s(%s, %s)", g.pick(arrs2), g.idx2Expr(), g.idx2Expr())
-	}
-}
-
-func (g *progGen) stmt(depth, loopDepth int, inSub bool) {
-	n := g.r.Intn(10)
-	switch {
-	case n < 4 || depth > 3:
-		g.linef("        %s = %s", g.lhs(), g.valExpr(0))
-	case n < 6 && loopDepth < 3:
-		g.loop(depth, loopDepth, inSub)
-	case n < 8:
-		g.linef("        IF %s THEN", g.condExpr(0))
-		for i := 0; i < 1+g.r.Intn(2); i++ {
-			g.stmt(depth+1, loopDepth, inSub)
-		}
-		if g.r.Intn(2) == 0 {
-			g.linef("        ELSE")
-			g.stmt(depth+1, loopDepth, inSub)
-		}
-		g.linef("        ENDIF")
-	case n == 8 && !inSub:
-		g.linef("        CALL sub%d(%s, %s, %s)", 1+g.r.Intn(2),
-			g.pick(arrs1), g.pick(scalars), g.valExpr(1))
-	default:
-		g.linef("        WRITE(*,*) %s", g.valExpr(1))
-	}
-}
-
-func (g *progGen) loop(depth, loopDepth int, inSub bool) {
-	l := g.label()
-	v := ivars[loopDepth]
-	// Bounds keep every induction variable in [0,5] at all times, including
-	// the post-loop overshoot (DO v = 1, 4 leaves v = 5), so index
-	// expressions built from them stay in range.
-	switch g.r.Intn(3) {
-	case 0:
-		g.linef("        DO %d %s = 1, %d", l, v, 2+g.r.Intn(3))
-	case 1:
-		g.linef("        DO %d %s = %d, 1, -1", l, v, 2+g.r.Intn(3))
-	default:
-		g.linef("        DO %d %s = 1, 4, 2", l, v)
-	}
-	for i := 0; i < 1+g.r.Intn(3); i++ {
-		g.stmt(depth+1, loopDepth+1, inSub)
-	}
-	g.linef("%-8dCONTINUE", l)
-}
-
-func (g *progGen) decls() {
-	g.linef("      COMMON /blk/ c1(30), c2(6,6), cs")
-	g.linef("      REAL x, y, z, w, a1(30), a2(30), b1(6,6)")
-	g.linef("      INTEGER i, j, k")
-}
-
-func genProgram(seed int64) string {
-	g := &progGen{r: rand.New(rand.NewSource(seed))}
-	for s := 1; s <= 2; s++ {
-		g.linef("      SUBROUTINE sub%d(p, q, r)", s)
-		g.linef("      REAL p(30), q, r")
-		g.decls()
-		for i := 0; i < 2+g.r.Intn(3); i++ {
-			g.stmt(0, 0, true)
-		}
-		if g.r.Intn(3) == 0 {
-			g.linef("        IF %s THEN", g.condExpr(0))
-			g.linef("        RETURN")
-			g.linef("        ENDIF")
-		}
-		g.linef("        q = q + r + p(1)")
-		g.linef("      END")
-		g.linef("")
-	}
-	g.linef("      PROGRAM rnd")
-	g.decls()
-	g.linef("        x = 1.5")
-	g.linef("        y = 0.25")
-	for i := 0; i < 3+g.r.Intn(5); i++ {
-		g.stmt(0, 0, false)
-	}
-	g.linef("        WRITE(*,*) x, y, z, w, cs")
-	g.linef("      END")
-	return g.sb.String()
-}
+// The random program generator lives in internal/corpus (DiffProgram): it
+// emits valid-by-construction MiniF programs — all array indices provably
+// in bounds, no division, no unknown callees — so every generated program
+// must run identically (and successfully) on both engines.
 
 // TestDifferentialRandomPrograms quick-checks engine equivalence over
 // generated programs, fully instrumented and with sampling.
@@ -448,7 +256,7 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 		seeds = 10
 	}
 	for s := 0; s < seeds; s++ {
-		src := genProgram(int64(s))
+		src := corpus.DiffProgram(int64(s))
 		name := fmt.Sprintf("rnd%03d", s)
 		cfg := runConfig{profile: true, instrument: true}
 		if s%3 == 1 {
@@ -467,6 +275,27 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 		if t.Failed() {
 			t.Fatalf("seed %d diverged; source:\n%s", s, src)
 		}
+	}
+}
+
+// TestDifferentialCorpusScale runs the corpus factory's recorded scale
+// tiers through both engines. The quick tiers run everywhere; the 20k-line
+// tier joins outside -short. Instrumentation stays off at scale (the
+// point here is engine equivalence on large programs, not DDA coverage —
+// the random-program quick-check above exercises the instrumented paths).
+func TestDifferentialCorpusScale(t *testing.T) {
+	tiers := corpus.QuickLadder()
+	if !testing.Short() {
+		if tier, ok := corpus.TierByName("20k"); ok {
+			tiers = append(tiers, tier)
+		}
+	}
+	for _, tier := range tiers {
+		tier := tier
+		t.Run(tier.Name, func(t *testing.T) {
+			p := tier.Generate()
+			diffBoth(t, tier.Name, p.Name, p.Source, runConfig{profile: true})
+		})
 	}
 }
 

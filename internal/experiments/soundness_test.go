@@ -1,63 +1,21 @@
 package experiments
 
 import (
-	"fmt"
 	"math/rand"
-	"strings"
 	"testing"
 	"testing/quick"
 
+	"suifx/internal/corpus"
 	"suifx/internal/exec"
 	"suifx/internal/minif"
 	"suifx/internal/parallel"
 )
 
-// genProgram builds a random MiniF program from a small grammar of loop
-// bodies: independent writes, covered temporaries, scalar and array
-// reductions, guarded updates, and genuine recurrences. Whatever the
-// parallelizer approves must execute identically in parallel — the
-// DESIGN.md end-to-end soundness invariant.
-func genProgram(r *rand.Rand) string {
-	var b strings.Builder
-	b.WriteString("      PROGRAM rnd\n")
-	b.WriteString("      REAL a(128), b(128), c(128), s, t\n")
-	b.WriteString("      INTEGER i, j, k\n")
-	b.WriteString("      s = 0.0\n      t = 1.0\n")
-	b.WriteString("      DO 5 i = 1, 128\n")
-	fmt.Fprintf(&b, "        a(i) = MOD(i * %d, 53) * 0.25\n", 3+r.Intn(40))
-	b.WriteString("        b(i) = 1.0\n        c(i) = 0.0\n5     CONTINUE\n")
-
-	bodies := []string{
-		"        b(i) = a(i) * 2.0 + 1.0\n",
-		"        c(i) = a(i) + b(i)\n",
-		"        t = a(i) * 0.5\n        b(i) = t + c(i)\n",
-		"        s = s + a(i) * 0.125\n",
-		"        IF (a(i) .GT. 6.0) c(i) = a(i)\n",
-		"        c(i) = c(i) + b(i) * 0.25\n",
-		"        IF (a(i) .LT. s) s = a(i)\n",
-		"        b(i) = b(i-1) + a(i)\n", // recurrence: must stay sequential
-		"        DO %d j = 1, 16\n          c(j) = a(i) + j\n%d      CONTINUE\n        b(i) = c(1) + c(16)\n",
-	}
-	nloops := 2 + r.Intn(4)
-	label := 100
-	for n := 0; n < nloops; n++ {
-		lo := 2
-		fmt.Fprintf(&b, "      DO %d i = %d, 128\n", label, lo)
-		nst := 1 + r.Intn(3)
-		for k := 0; k < nst; k++ {
-			body := bodies[r.Intn(len(bodies))]
-			if strings.Contains(body, "%d") {
-				inner := label + 50 + k
-				body = fmt.Sprintf(body, inner, inner)
-			}
-			b.WriteString(body)
-		}
-		fmt.Fprintf(&b, "%d   CONTINUE\n", label)
-		label += 100
-	}
-	b.WriteString("      WRITE(*,*) s, t, b(5), c(7)\n      END\n")
-	return b.String()
-}
+// The random program generator lives in internal/corpus
+// (PipelineProgram): a small grammar of loop bodies — independent writes,
+// covered temporaries, scalar and array reductions, guarded updates, and
+// genuine recurrences. Whatever the parallelizer approves must execute
+// identically in parallel — the DESIGN.md end-to-end soundness invariant.
 
 // TestQuickPipelineSoundness is the whole-pipeline property test: for random
 // programs, every loop the parallelizer approves executes identically under
@@ -67,7 +25,7 @@ func TestQuickPipelineSoundness(t *testing.T) {
 	f := func(seed int64, workersRaw uint8) bool {
 		r := rand.New(rand.NewSource(seed))
 		workers := int(workersRaw%7) + 2
-		src := genProgram(r)
+		src := corpus.PipelineProgram(r)
 
 		seqProg, err := minif.Parse("rnd", src)
 		if err != nil {
@@ -123,6 +81,54 @@ func TestQuickPipelineSoundness(t *testing.T) {
 	}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCorpusScaleSoundness runs the corpus factory's recorded scale tiers
+// end to end: whatever the parallelizer approves on a generated program
+// must execute identically in parallel at several worker counts. The quick
+// tiers run everywhere; the 20k-line tier joins outside -short.
+func TestCorpusScaleSoundness(t *testing.T) {
+	tiers := corpus.QuickLadder()
+	if !testing.Short() {
+		if tier, ok := corpus.TierByName("20k"); ok {
+			tiers = append(tiers, tier)
+		}
+	}
+	for _, tier := range tiers {
+		tier := tier
+		t.Run(tier.Name, func(t *testing.T) {
+			p := tier.Generate()
+			seqProg, err := minif.Parse(p.Name, p.Source)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			seq := exec.New(seqProg)
+			seq.Mode = exec.ModeBytecode
+			if err := seq.Run(); err != nil {
+				t.Fatalf("sequential run: %v", err)
+			}
+			parProg := minif.MustParse(p.Name, p.Source)
+			res := parallel.Parallelize(parProg, parallel.Config{UseReductions: true})
+			for _, workers := range []int{2, 4} {
+				plan := BuildPlan(res, workers)
+				if len(plan.Loops) == 0 {
+					t.Fatalf("tier %s: no loops approved for parallel execution", tier.Name)
+				}
+				par := exec.NewWithPlan(parProg, plan)
+				par.Mode = exec.ModeBytecode
+				if err := par.Run(); err != nil {
+					t.Fatalf("W=%d parallel run: %v", workers, err)
+				}
+				n := seq.ScratchBase()
+				seqA := append([]float64(nil), seq.Arena()[:n]...)
+				parA := append([]float64(nil), par.Arena()[:n]...)
+				maskParallelDead(res, par, seqA, parA)
+				if err := exec.Validate(seqA, parA, 1e-6); err != nil {
+					t.Errorf("W=%d: %v", workers, err)
+				}
+			}
+		})
 	}
 }
 

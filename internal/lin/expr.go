@@ -11,6 +11,7 @@ package lin
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -196,6 +197,41 @@ func (e Expr) String() string {
 		fmt.Fprintf(&b, " - %d", -e.Const)
 	}
 	return b.String()
+}
+
+// key renders a canonical byte form of e, cheaper than String, for use as a
+// dedup map key. Same affine function ⇔ same key.
+func (e Expr) key() string {
+	b := make([]byte, 0, 16+12*len(e.Coef))
+	b = strconv.AppendInt(b, e.Const, 10)
+	for _, v := range e.Vars() {
+		b = append(b, '|')
+		b = append(b, v...)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, e.Coef[v], 10)
+	}
+	return string(b)
+}
+
+// linComb returns ka*a + kb*b with a single map allocation — the inner-loop
+// combination step of Fourier–Motzkin elimination.
+func linComb(ka int64, a Expr, kb int64, b Expr) Expr {
+	out := Expr{
+		Const: ka*a.Const + kb*b.Const,
+		Coef:  make(map[string]int64, len(a.Coef)+len(b.Coef)),
+	}
+	for v, c := range a.Coef {
+		out.Coef[v] = ka * c
+	}
+	for v, c := range b.Coef {
+		n := out.Coef[v] + kb*c
+		if n == 0 {
+			delete(out.Coef, v)
+		} else {
+			out.Coef[v] = n
+		}
+	}
+	return out
 }
 
 func gcd64(a, b int64) int64 {

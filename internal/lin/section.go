@@ -38,11 +38,14 @@ func NewSection(ndim int, sys *System) *Section {
 	return &Section{NDim: ndim, Polys: []*System{sys}, Exact: true}
 }
 
-// Clone returns a deep copy.
+// Clone returns an independent copy. The polyhedra are shared: a System
+// stored in a Section is never mutated in place (all section and summary
+// operations replace rather than update), so only the Polys slice needs to
+// be fresh.
 func (s *Section) Clone() *Section {
 	out := &Section{NDim: s.NDim, Exact: s.Exact}
-	for _, p := range s.Polys {
-		out.Polys = append(out.Polys, p.Clone())
+	if len(s.Polys) > 0 {
+		out.Polys = append(make([]*System, 0, len(s.Polys)), s.Polys...)
 	}
 	return out
 }
@@ -62,7 +65,7 @@ func (s *Section) Union(o *Section) *Section {
 	out := s.Clone()
 	out.Exact = s.Exact && o.Exact
 	for _, p := range o.Polys {
-		out.addPoly(p.Clone())
+		out.addPoly(p)
 	}
 	return out
 }
@@ -129,10 +132,7 @@ func (s *Section) ContainedIn(o *Section) bool {
 // This is sound for upwards-exposed-read computation, which must
 // over-approximate.
 func (s *Section) Subtract(o *Section) *Section {
-	cur := make([]*System, 0, len(s.Polys))
-	for _, p := range s.Polys {
-		cur = append(cur, p.Clone())
-	}
+	cur := append(make([]*System, 0, len(s.Polys)), s.Polys...)
 	for _, q := range o.Polys {
 		var next []*System
 		for _, p := range cur {

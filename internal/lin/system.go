@@ -50,23 +50,39 @@ func floorDiv(a, b int64) int64 {
 // unconstrained system (the whole space).
 type System struct {
 	Cons []Constraint
+
+	// empt caches the result of IsEmpty: 0 unknown, 1 empty, 2 nonempty.
+	// Containment tests re-query emptiness of the same unchanged system many
+	// times (once per candidate polyhedron in a section), so the cache turns
+	// repeated Fourier–Motzkin runs into one. Every in-package mutation of
+	// Cons resets it.
+	empt int8
 }
+
+const (
+	emptUnknown int8 = iota
+	emptEmpty
+	emptNonEmpty
+)
 
 // NewSystem returns an empty (unconstrained) system.
 func NewSystem() *System { return &System{} }
 
-// Clone returns a deep copy of s.
+// Clone returns an independent copy of s: the constraint slice is fresh, the
+// constraint expressions are shared. Exprs are immutable once built (every
+// Expr operation allocates), so sharing them is indistinguishable from a deep
+// copy. The emptiness cache carries over — the clone has the identical
+// constraint set.
 func (s *System) Clone() *System {
-	out := &System{Cons: make([]Constraint, len(s.Cons))}
-	for i, c := range s.Cons {
-		out.Cons[i] = Constraint{c.E.Clone()}
-	}
+	out := &System{Cons: make([]Constraint, len(s.Cons)), empt: s.empt}
+	copy(out.Cons, s.Cons)
 	return out
 }
 
 // AddGE adds the constraint e >= 0 and returns s for chaining.
 func (s *System) AddGE(e Expr) *System {
 	s.Cons = append(s.Cons, Constraint{e}.normalize())
+	s.empt = emptUnknown
 	return s
 }
 
@@ -101,10 +117,9 @@ func (s *System) Vars() []string {
 
 // Intersect returns the conjunction of s and o.
 func (s *System) Intersect(o *System) *System {
-	out := s.Clone()
-	for _, c := range o.Cons {
-		out.Cons = append(out.Cons, Constraint{c.E.Clone()})
-	}
+	out := &System{Cons: make([]Constraint, 0, len(s.Cons)+len(o.Cons))}
+	out.Cons = append(out.Cons, s.Cons...)
+	out.Cons = append(out.Cons, o.Cons...)
 	return out
 }
 
@@ -160,7 +175,7 @@ func (s *System) Eliminate(v string) *System {
 			b := -up.E.CoefOf(v)
 			// b*(a*v + rl) + a*(-b*v + ru') combination removes v:
 			// b*lo + a*up >= 0.
-			comb := lo.E.Scale(b).Add(up.E.Scale(a))
+			comb := linComb(b, lo.E, a, up.E)
 			delete(comb.Coef, v)
 			out.Cons = append(out.Cons, Constraint{comb}.normalize())
 		}
@@ -193,6 +208,22 @@ func (s *System) EliminateVars(vars ...string) *System {
 // conservative test for integer emptiness: true means definitely no integer
 // points; false means there may be some).
 func (s *System) IsEmpty() bool {
+	if s == nil {
+		return true
+	}
+	if s.empt != emptUnknown {
+		return s.empt == emptEmpty
+	}
+	empty := s.isEmptySlow()
+	if empty {
+		s.empt = emptEmpty
+	} else {
+		s.empt = emptNonEmpty
+	}
+	return empty
+}
+
+func (s *System) isEmptySlow() bool {
 	cur := s.simplify()
 	if cur == nil {
 		return true
@@ -230,7 +261,7 @@ func (s *System) simplify() *System {
 			}
 			continue
 		}
-		k := c.E.String()
+		k := c.E.key()
 		if !seen[k] {
 			seen[k] = true
 			out.Cons = append(out.Cons, c)
@@ -242,10 +273,31 @@ func (s *System) simplify() *System {
 // Implies reports whether every rational point of s satisfies c, tested by
 // checking that s ∧ ¬c (with the integer gap e <= -1) is empty.
 func (s *System) Implies(c Constraint) bool {
+	// Fast path: some constraint of s dominates c syntactically — identical
+	// coefficients with an equal-or-tighter constant (a + x >= 0 with a <= b
+	// implies b + x >= 0). This catches the overwhelmingly common case of
+	// duplicated constraints without running an elimination.
+	for _, sc := range s.Cons {
+		if sc.E.Const <= c.E.Const && sameCoefs(sc.E, c.E) {
+			return true
+		}
+	}
 	neg := s.Clone()
 	// ¬(e >= 0) over integers is e <= -1, i.e. -e - 1 >= 0.
 	neg.AddGE(c.E.Scale(-1).AddConst(-1))
 	return neg.IsEmpty()
+}
+
+func sameCoefs(a, b Expr) bool {
+	if len(a.Coef) != len(b.Coef) {
+		return false
+	}
+	for v, c := range a.Coef {
+		if b.Coef[v] != c {
+			return false
+		}
+	}
+	return true
 }
 
 // ContainedIn reports whether s ⊆ o (conservatively: true is definite).

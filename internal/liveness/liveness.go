@@ -58,7 +58,8 @@ type Info struct {
 	// exitBits is the cheap variants' per-region exposed-after set.
 	exitBits map[*region.Region]map[*ir.Symbol]bool
 
-	encl map[ir.Stmt]*region.Region // call/loop stmt -> region holding its After record
+	encl  map[ir.Stmt]*region.Region // call/loop stmt -> region holding its After record
+	sites map[string][]ir.CallSite   // callee name -> call sites, one program walk
 }
 
 // Analyze runs the top-down liveness phase with the chosen variant.
@@ -74,6 +75,19 @@ func Analyze(sum *summary.Analysis, v Variant) *Info {
 		for s := range m {
 			in.encl[s] = r
 		}
+	}
+	// Index all call sites up front: the per-proc propagation below queries
+	// them once per procedure, and a fresh whole-program walk per query is
+	// quadratic at corpus scale.
+	in.sites = map[string][]ir.CallSite{}
+	for _, pr := range sum.Prog.Procs {
+		pr := pr
+		ir.WalkStmts(pr.Body, func(s ir.Stmt) bool {
+			if c, ok := s.(*ir.Call); ok {
+				in.sites[c.Name] = append(in.sites[c.Name], ir.CallSite{Caller: pr, Call: c})
+			}
+			return true
+		})
 	}
 	switch v {
 	case Full:
@@ -104,7 +118,7 @@ func (in *Info) runFull() {
 // procExit computes S_{r0,P}: the meet over P's call sites of the summary
 // from after the call to the end of the program, mapped to callee space.
 func (in *Info) procExit(p *ir.Proc) *summary.Tuple {
-	sites := in.Sum.Prog.CallSitesOf(p.Name)
+	sites := in.sites[p.Name]
 	var acc *summary.Tuple
 	for _, cs := range sites {
 		r := in.encl[ir.Stmt(cs.Call)]
@@ -348,7 +362,7 @@ func (in *Info) runOneBit() {
 		top := in.Sum.Reg.ProcTop[p.Name]
 		bits := map[*ir.Symbol]bool{}
 		if !p.IsMain {
-			for _, cs := range in.Sum.Prog.CallSitesOf(p.Name) {
+			for _, cs := range in.sites[p.Name] {
 				r := in.encl[ir.Stmt(cs.Call)]
 				if r == nil {
 					continue
@@ -461,7 +475,7 @@ func (in *Info) runFlowInsensitive() {
 		top := in.Sum.Reg.ProcTop[p.Name]
 		bits := map[*ir.Symbol]bool{}
 		if !p.IsMain {
-			for _, cs := range in.Sum.Prog.CallSitesOf(p.Name) {
+			for _, cs := range in.sites[p.Name] {
 				r := in.encl[ir.Stmt(cs.Call)]
 				if r == nil {
 					continue

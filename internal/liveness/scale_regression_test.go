@@ -1,0 +1,91 @@
+package liveness_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"suifx/internal/liveness"
+	"suifx/internal/minif"
+	"suifx/internal/summary"
+)
+
+// TestScaleFixture pins the liveness results on the minimized corpus-shaped
+// fixture (internal/minif/testdata/scale_liveness.f). The fixture distills
+// the program shape that exposed two pathological slowdowns at corpus scale
+// — a whole-program call-site scan per procedure and deep constraint-system
+// cloning on section unions — and this test guarantees the fixes kept the
+// analysis results bit-identical: the full and 1-bit variants find the dead
+// array, the flow-insensitive variant conservatively does not.
+func TestScaleFixture(t *testing.T) {
+	src, err := os.ReadFile("../minif/testdata/scale_liveness.f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := minif.Parse("scale_liveness.f", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := summary.Analyze(prog)
+	want := map[liveness.Variant][3]int{
+		liveness.Full:            {10, 14, 1},
+		liveness.OneBit:          {10, 14, 1},
+		liveness.FlowInsensitive: {10, 14, 0},
+	}
+	for v, w := range want {
+		in := liveness.Analyze(sum, v)
+		l, m, d := in.DeadStats()
+		if [3]int{l, m, d} != w {
+			t.Errorf("%s: loops/modified/dead = %d/%d/%d, want %d/%d/%d", v, l, m, d, w[0], w[1], w[2])
+		}
+	}
+}
+
+// TestManyProcsLiveness guards against reintroducing the per-procedure
+// whole-program call-site scan: a long call chain of small procedures must
+// analyze in time linear in the chain length. The deadline is generous for
+// slow CI machines but far below what the removed quadratic cost here.
+func TestManyProcsLiveness(t *testing.T) {
+	n := 400
+	if testing.Short() {
+		n = 60
+	}
+	var b strings.Builder
+	for p := 0; p < n; p++ {
+		fmt.Fprintf(&b, "      SUBROUTINE CH%d(U)\n", p)
+		b.WriteString("      REAL U\n      REAL LA(16)\n      INTEGER I\n")
+		fmt.Fprintf(&b, "      COMMON /GC%d/ GS%d(16), GT%d\n", p%4, p%4, p%4)
+		b.WriteString("      DO 10 I = 1, 16\n")
+		fmt.Fprintf(&b, "        LA(I) = MOD(I * %d, 17) * 0.25 + U\n", 3+p%7)
+		b.WriteString("10    CONTINUE\n      DO 20 I = 1, 12\n")
+		fmt.Fprintf(&b, "        GS%d(I) = LA(I) * 0.5 + 1.5\n", p%4)
+		fmt.Fprintf(&b, "        GT%d = GT%d + LA(I) * 0.125\n", p%4, p%4)
+		b.WriteString("20    CONTINUE\n")
+		if p+1 < n {
+			fmt.Fprintf(&b, "      CALL CH%d(U * 0.5)\n", p+1)
+		}
+		b.WriteString("      END\n\n")
+	}
+	b.WriteString("      PROGRAM CHAIN\n")
+	for c := 0; c < 4; c++ {
+		fmt.Fprintf(&b, "      COMMON /GC%d/ GS%d(16), GT%d\n", c, c, c)
+	}
+	b.WriteString("      CALL CH0(1.5)\n")
+	b.WriteString("      WRITE(*,*) GT0, GT1, GT2, GT3\n      END\n")
+
+	prog, err := minif.Parse("chain.f", b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	sum := summary.Analyze(prog)
+	in := liveness.Analyze(sum, liveness.Full)
+	if elapsed := time.Since(start); elapsed > 60*time.Second {
+		t.Fatalf("liveness over %d-proc chain took %v; the top-down phase should be linear in chain length", n, elapsed)
+	}
+	if len(in.ExitSum) == 0 {
+		t.Fatal("no exit summaries computed")
+	}
+}

@@ -6,17 +6,26 @@ import (
 	"strings"
 	"testing"
 
+	"suifx/internal/corpus"
 	"suifx/internal/minif"
 	"suifx/internal/workloads"
 )
 
 // FuzzMiniFParser feeds arbitrary source to the parser, seeded with every
-// built-in workload plus mutation-friendly fragments. The contract under
-// fuzzing: Parse either returns a program or an error — it never panics,
-// and a successful parse is non-nil and re-parses to the same shape.
+// built-in workload, corpus-factory programs (structured, multi-procedure,
+// COMMON-heavy — a much richer mutation base than the hand-written seeds
+// alone), plus mutation-friendly fragments. The contract under fuzzing:
+// Parse either returns a program or an error — it never panics, and a
+// successful parse is non-nil and re-parses to the same shape.
 func FuzzMiniFParser(f *testing.F) {
 	for _, w := range workloads.All() {
 		f.Add(w.Source)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		p := corpus.Generate(seed, corpus.Config{
+			TargetLines: 300, AliasDensity: 0.4, ReductionMix: 0.4,
+		})
+		f.Add(p.Source)
 	}
 	f.Add("")
 	f.Add("      PROGRAM T\n      END\n")

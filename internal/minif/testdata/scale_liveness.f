@@ -1,0 +1,89 @@
+C     Minimized from the corpus factory's scaled programs: a chain of
+C     procedures sharing COMMON blocks, with an interprocedural aliased
+C     loop (helper call writing a shared work array), a loop-carried
+C     COMMON recurrence, a privatizable temporary chain, and scalar and
+C     COMMON reductions. This shape exposed two pathological slowdowns
+C     in the top-down liveness phase at corpus scale: a whole-program
+C     call-site scan per procedure (quadratic in procedure count) and
+C     deep cloning of constraint systems on every section union. The
+C     regression test pins both the analysis results and a wall-clock
+C     bound on a scaled-up variant of this pattern.
+      SUBROUTINE WH0(V)
+      REAL V
+      COMMON /GWK/ GW(16)
+      INTEGER I
+      DO 10 I = 1, 8
+        GW(I) = GW(I) + V * 0.125 + I * 0.5
+10    CONTINUE
+      END
+
+      SUBROUTINE SP0(U)
+      REAL U
+      REAL LA(16), S0, T0
+      INTEGER I, J
+      COMMON /GC0/ GS0(16), GT0
+      S0 = 0.0
+      DO 10 I = 1, 16
+        LA(I) = MOD(I * 3, 17) * 0.25 + U * 0.125
+10    CONTINUE
+      DO 20 I = 1, 8
+        CALL WH0(LA(I))
+        S0 = S0 + LA(I) * 0.5
+20    CONTINUE
+      DO 40 I = 1, 6
+        DO 30 J = 1, 6
+          GS0(J) = GS0(J + 1) * 0.5 + 1.5
+          T0 = LA(J) * 2.0 + U
+          LA(J) = T0 + T0 * 0.25
+30      CONTINUE
+40    CONTINUE
+      GT0 = GT0 + S0
+      CALL SP1(U * 0.5)
+      END
+
+      SUBROUTINE SP1(U)
+      REAL U
+      REAL LA(16), T0
+      INTEGER I
+      COMMON /GC1/ GS1(16), GT1
+      DO 10 I = 1, 16
+        LA(I) = MOD(I * 5, 19) * 0.25 + U * 0.125
+10    CONTINUE
+      DO 20 I = 1, 12
+        T0 = LA(I) * 1.5 + U
+        GS1(I) = T0 + 0.5
+        GT1 = GT1 + LA(I) * 0.25
+20    CONTINUE
+      CALL SP2(U * 0.5)
+      END
+
+      SUBROUTINE SP2(U)
+      REAL U
+      REAL LA(16)
+      INTEGER I
+      COMMON /GC0/ GS0(16), GT0
+      COMMON /GC1/ GS1(16), GT1
+      DO 10 I = 1, 16
+        LA(I) = GS0(I) + GS1(I) * 0.5
+10    CONTINUE
+      DO 20 I = 1, 14
+        IF (LA(I) .GT. 2.0) GS0(I) = LA(I) + 0.25
+        GT0 = GT0 + LA(I) * 0.125
+20    CONTINUE
+      END
+
+      PROGRAM SCALEL
+      COMMON /GC0/ GS0(16), GT0
+      COMMON /GC1/ GS1(16), GT1
+      COMMON /GWK/ GW(16)
+      INTEGER I
+      DO 10 I = 1, 16
+        GS0(I) = MOD(I * 3, 11) * 0.5
+        GS1(I) = MOD(I * 5, 12) * 0.5
+        GW(I) = 0.0
+10    CONTINUE
+      GT0 = 0.0
+      GT1 = 0.0
+      CALL SP0(1.5)
+      WRITE(*,*) GT0, GT1, GS0(1), GS1(2), GW(1)
+      END

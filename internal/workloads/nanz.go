@@ -1,0 +1,331 @@
+package workloads
+
+// The six multicore benchmark tasks of Nanz et al. (the Cowichan problems),
+// ported as MiniF workloads. Where the Chapter 4/5 applications are regular
+// scientific kernels, these tasks carry irregular, data-dependent
+// parallelism: masked selection, histogram thresholding, runtime-computed
+// strides, and packing loops with running counters. Each task still exposes
+// at least one loop the parallelizer approves on its own:
+//
+//   - randmat: per-row LCG streams — outer row loop parallel with the seed
+//     privatized, inner recurrence sequential;
+//   - thresh: the histogram build is a data-dependent scatter (blocked) but
+//     the mask application is elementwise parallel;
+//   - winnow: packing and sorting are sequential recurrences; candidate
+//     weighting and the stride-spaced pick (runtime stride ⇒ non-affine
+//     read of a read-only array) parallelize;
+//   - outer: pairwise distance rows with a per-row running max and a
+//     diagonal fix-up — row-disjoint writes parallelize;
+//   - product: classic matvec with a privatized inner-sum scalar;
+//   - chain: the five stages composed through COMMON, mirroring the
+//     original benchmark's pipeline.
+
+// randmatBody generates the nr x nc matrix of per-row LCG streams.
+const randmatBody = `
+      SUBROUTINE rmgen(nr, nc)
+      COMMON /mat/ am(16,16)
+      REAL s
+      INTEGER r, c, nr, nc
+      DO 100 r = 1, nr
+        s = MOD(r * 17.0 + 3.0, 97.0)
+        DO 110 c = 1, nc
+          s = MOD(s * 17.0 + 3.0, 97.0)
+          am(r, c) = s
+110     CONTINUE
+100   CONTINUE
+      END
+`
+
+// threshBody histograms the matrix, picks the retention threshold, and
+// applies the mask.
+const threshBody = `
+      SUBROUTINE thrs(nr, nc, keep)
+      COMMON /mat/ am(16,16)
+      COMMON /msk/ ak(16,16)
+      COMMON /hst/ ah(100)
+      REAL t
+      INTEGER r, c, keep, cnt, v
+      DO 200 r = 1, nr
+        DO 210 c = 1, nc
+          v = INT(am(r, c)) + 1
+          ah(v) = ah(v) + 1.0
+210     CONTINUE
+200   CONTINUE
+      cnt = 0
+      t = 0.0
+      DO 220 v = 1, 100
+        IF (cnt .LT. keep) THEN
+          cnt = cnt + INT(ah(101 - v))
+          t = FLOAT(101 - v)
+        ENDIF
+220   CONTINUE
+      DO 230 r = 1, nr
+        DO 240 c = 1, nc
+          ak(r, c) = 0.0
+          IF (am(r, c) .GE. t) ak(r, c) = 1.0
+240     CONTINUE
+230   CONTINUE
+      END
+`
+
+// winnowBody packs the masked points, weights them, sorts by weight, and
+// picks nsel evenly spaced survivors.
+const winnowBody = `
+      SUBROUTINE wnnw(nr, nc, nsel)
+      COMMON /mat/ am(16,16)
+      COMMON /msk/ ak(16,16)
+      COMMON /pts/ avx(64), avy(64), avv(64), awx(16), awy(16)
+      REAL tv, tx, ty
+      INTEGER r, c, np, i, j, st, q, l, nsel, nr, nc
+      np = 0
+      DO 300 r = 1, nr
+        DO 310 c = 1, nc
+          IF (ak(r, c) .GT. 0.5) THEN
+            IF (np .LT. 64) THEN
+              np = np + 1
+              avx(np) = FLOAT(r)
+              avy(np) = FLOAT(c)
+            ENDIF
+          ENDIF
+310     CONTINUE
+300   CONTINUE
+      DO 320 i = 1, np
+        avv(i) = am(INT(avx(i)), INT(avy(i))) + avx(i) * 0.01
+320   CONTINUE
+      DO 330 i = 1, np
+        DO 340 j = 1, np
+          IF (j .GT. i) THEN
+            IF (avv(j) .LT. avv(i)) THEN
+              tv = avv(i)
+              avv(i) = avv(j)
+              avv(j) = tv
+              tx = avx(i)
+              avx(i) = avx(j)
+              avx(j) = tx
+              ty = avy(i)
+              avy(i) = avy(j)
+              avy(j) = ty
+            ENDIF
+          ENDIF
+340     CONTINUE
+330   CONTINUE
+      st = 0
+      q = np
+      DO 350 i = 1, 64
+        IF (q .GE. nsel) THEN
+          st = st + 1
+          q = q - nsel
+        ENDIF
+350   CONTINUE
+      IF (st .LT. 1) st = 1
+      DO 360 l = 1, nsel
+        awx(l) = avx(1 + (l - 1) * st)
+        awy(l) = avy(1 + (l - 1) * st)
+360   CONTINUE
+      END
+`
+
+// outerBody builds the pairwise-distance matrix with its diagonal fix-up
+// and the origin-distance vector.
+const outerBody = `
+      SUBROUTINE outr(n)
+      COMMON /pts/ avx(64), avy(64), avv(64), awx(16), awy(16)
+      COMMON /omt/ ad(16,16), avec(16)
+      REAL rm, dx, dy
+      INTEGER i, j, n
+      DO 400 i = 1, n
+        rm = 0.0
+        DO 410 j = 1, n
+          dx = awx(i) - awx(j)
+          dy = awy(i) - awy(j)
+          ad(i, j) = SQRT(dx * dx + dy * dy)
+          IF (ad(i, j) .GT. rm) rm = ad(i, j)
+410     CONTINUE
+        ad(i, i) = rm * FLOAT(n)
+        avec(i) = SQRT(awx(i) * awx(i) + awy(i) * awy(i))
+400   CONTINUE
+      END
+`
+
+// productBody is the matrix-vector product over the outer stage's outputs.
+const productBody = `
+      SUBROUTINE mvec(n)
+      COMMON /omt/ ad(16,16), avec(16)
+      COMMON /res/ ay(16)
+      REAL s
+      INTEGER i, j, n
+      DO 500 i = 1, n
+        s = 0.0
+        DO 510 j = 1, n
+          s = s + ad(i, j) * avec(j)
+510     CONTINUE
+        ay(i) = s
+500   CONTINUE
+      END
+`
+
+// Randmat is Nanz task 1: a deterministic pseudo-random matrix from
+// per-row LCG streams.
+var Randmat = register(&Workload{
+	Name:        "randmat",
+	Suite:       "nanz",
+	Description: "Per-row LCG random matrix (Nanz et al.)",
+	DataSet:     "16x16 matrix",
+	Source: `
+C     randmat: deterministic random matrix, one LCG stream per row
+` + randmatBody + `
+      PROGRAM randmat
+      COMMON /mat/ am(16,16)
+      REAL dig
+      INTEGER r
+      CALL rmgen(16, 16)
+      dig = 0.0
+      DO 900 r = 1, 16
+        dig = dig + am(r, r) + am(r, 17 - r) * 0.5
+900   CONTINUE
+      WRITE(*,*) dig, am(1, 1), am(9, 13)
+      END
+`,
+})
+
+// Thresh is Nanz task 2: histogram thresholding to a boolean mask.
+var Thresh = register(&Workload{
+	Name:        "thresh",
+	Suite:       "nanz",
+	Description: "Histogram threshold mask (Nanz et al.)",
+	DataSet:     "16x16 matrix, 30% retained",
+	Source: `
+C     thresh: histogram thresholding, data-dependent scatter + parallel mask
+` + randmatBody + threshBody + `
+      PROGRAM thresh
+      COMMON /msk/ ak(16,16)
+      REAL dig
+      INTEGER r, c
+      CALL rmgen(16, 16)
+      CALL thrs(16, 16, 77)
+      dig = 0.0
+      DO 900 r = 1, 16
+        DO 910 c = 1, 16
+          dig = dig + ak(r, c)
+910     CONTINUE
+900   CONTINUE
+      WRITE(*,*) dig, ak(1, 1), ak(8, 8)
+      END
+`,
+})
+
+// Winnow is Nanz task 3: masked selection, sort by weight, evenly spaced
+// pick.
+var Winnow = register(&Workload{
+	Name:        "winnow",
+	Suite:       "nanz",
+	Description: "Masked weighted selection (Nanz et al.)",
+	DataSet:     "16x16 mask, 8 selected",
+	Source: `
+C     winnow: pack masked points, weight, sort, pick evenly spaced
+` + randmatBody + threshBody + winnowBody + `
+      PROGRAM winnow
+      COMMON /pts/ avx(64), avy(64), avv(64), awx(16), awy(16)
+      REAL dig
+      INTEGER l
+      CALL rmgen(16, 16)
+      CALL thrs(16, 16, 77)
+      CALL wnnw(16, 16, 8)
+      dig = 0.0
+      DO 900 l = 1, 8
+        dig = dig + awx(l) * 100.0 + awy(l)
+900   CONTINUE
+      WRITE(*,*) dig, awx(1), awy(8)
+      END
+`,
+})
+
+// Outer is Nanz task 4: the pairwise-distance matrix with dominant
+// diagonal and the origin-distance vector.
+var Outer = register(&Workload{
+	Name:        "outer",
+	Suite:       "nanz",
+	Description: "Pairwise distance matrix (Nanz et al.)",
+	DataSet:     "8 points",
+	Source: `
+C     outer: pairwise distances, per-row max on the diagonal
+` + randmatBody + threshBody + winnowBody + outerBody + `
+      PROGRAM outer
+      COMMON /omt/ ad(16,16), avec(16)
+      REAL dig
+      INTEGER i, j
+      CALL rmgen(16, 16)
+      CALL thrs(16, 16, 77)
+      CALL wnnw(16, 16, 8)
+      CALL outr(8)
+      dig = 0.0
+      DO 900 i = 1, 8
+        DO 910 j = 1, 8
+          dig = dig + ad(i, j)
+910     CONTINUE
+        dig = dig + avec(i) * 0.5
+900   CONTINUE
+      WRITE(*,*) dig, ad(1, 2), ad(3, 3)
+      END
+`,
+})
+
+// Product is Nanz task 5: matrix-vector product over the outer stage's
+// outputs.
+var Product = register(&Workload{
+	Name:        "product",
+	Suite:       "nanz",
+	Description: "Matrix-vector product (Nanz et al.)",
+	DataSet:     "8x8 system",
+	Source: `
+C     product: matvec with privatized inner sum
+` + randmatBody + threshBody + winnowBody + outerBody + productBody + `
+      PROGRAM product
+      COMMON /res/ ay(16)
+      REAL dig
+      INTEGER i
+      CALL rmgen(16, 16)
+      CALL thrs(16, 16, 77)
+      CALL wnnw(16, 16, 8)
+      CALL outr(8)
+      CALL mvec(8)
+      dig = 0.0
+      DO 900 i = 1, 8
+        dig = dig + ay(i)
+900   CONTINUE
+      WRITE(*,*) dig, ay(1), ay(8)
+      END
+`,
+})
+
+// Chain is Nanz task 6: the five stages composed end to end.
+var Chain = register(&Workload{
+	Name:        "chain",
+	Suite:       "nanz",
+	Description: "Composed randmat-thresh-winnow-outer-product pipeline (Nanz et al.)",
+	DataSet:     "16x16 input, 8 selected",
+	Source: `
+C     chain: the full Cowichan pipeline through COMMON
+` + randmatBody + threshBody + winnowBody + outerBody + productBody + `
+      PROGRAM chain
+      COMMON /mat/ am(16,16)
+      COMMON /msk/ ak(16,16)
+      COMMON /res/ ay(16)
+      REAL dig
+      INTEGER i, r
+      CALL rmgen(16, 16)
+      CALL thrs(16, 16, 77)
+      CALL wnnw(16, 16, 8)
+      CALL outr(8)
+      CALL mvec(8)
+      dig = 0.0
+      DO 900 i = 1, 8
+        dig = dig + ay(i)
+900   CONTINUE
+      DO 910 r = 1, 16
+        dig = dig + am(r, r) * 0.001 + ak(r, 1) * 0.01
+910   CONTINUE
+      WRITE(*,*) dig, ay(1), ay(8), am(2, 2), ak(4, 4)
+      END
+`,
+})

@@ -1,0 +1,124 @@
+package workloads
+
+import "testing"
+
+// TestNanzExecute: all six Nanz tasks parse and run to completion on the
+// tree interpreter.
+func TestNanzExecute(t *testing.T) {
+	for _, w := range Suite("nanz") {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			in := newInterp(t, w)
+			if err := in.Run(); err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			if in.Ops() < 500 {
+				t.Fatalf("%s: suspiciously small run (%d ops)", w.Name, in.Ops())
+			}
+		})
+	}
+}
+
+// TestNanzSuiteComplete pins the suite roster: the six tasks of Nanz et
+// al., no more, no less.
+func TestNanzSuiteComplete(t *testing.T) {
+	want := []string{"chain", "outer", "product", "randmat", "thresh", "winnow"}
+	got := Suite("nanz")
+	if len(got) != len(want) {
+		t.Fatalf("nanz suite has %d workloads, want %d", len(got), len(want))
+	}
+	for i, w := range got {
+		if w.Name != want[i] {
+			t.Fatalf("nanz suite[%d] = %s, want %s", i, w.Name, want[i])
+		}
+	}
+}
+
+// TestNanzStories checks the parallelization verdicts that make these
+// tasks interesting: each carries irregular, data-dependent phases the
+// analyzer must reject next to regular phases it must approve.
+func TestNanzStories(t *testing.T) {
+	// randmat: the per-row loop parallelizes (seed s privatizes); the
+	// per-column LCG recurrence stays sequential.
+	res := analyzeCh4(t, Randmat, false)
+	if !verdict(t, res, "RMGEN/100").Dep.Parallelizable {
+		t.Errorf("rmgen/100 should parallelize: %v", verdict(t, res, "RMGEN/100").Dep.Blocking)
+	}
+	if verdict(t, res, "RMGEN/110").Dep.Parallelizable {
+		t.Error("rmgen/110 (LCG recurrence) must stay sequential")
+	}
+
+	// thresh: the histogram scatter has a data-dependent subscript but is
+	// recognized as an array sum reduction; the threshold-selection scan
+	// is a genuine scalar recurrence (cnt, t) and must be rejected; the
+	// mask application is elementwise and must be approved.
+	res = analyzeCh4(t, Thresh, false)
+	li := verdict(t, res, "THRS/200")
+	if !li.Dep.Parallelizable {
+		t.Errorf("thrs/200 (histogram) should parallelize as a reduction: %v", li.Dep.Blocking)
+	}
+	hist := ""
+	for _, vr := range li.Dep.Vars {
+		if vr.Sym.Name == "AH" {
+			hist = vr.Class.String()
+		}
+	}
+	if hist != "reduction" {
+		t.Errorf("thrs/200: ah classed %q, want reduction", hist)
+	}
+	if verdict(t, res, "THRS/220").Dep.Parallelizable {
+		t.Error("thrs/220 (threshold scan) must stay sequential")
+	}
+	if !verdict(t, res, "THRS/230").Dep.Parallelizable {
+		t.Errorf("thrs/230 (mask) should parallelize: %v", verdict(t, res, "THRS/230").Dep.Blocking)
+	}
+
+	// winnow: packing (running counter) and sorting (swaps) are
+	// sequential; candidate weighting and the stride-spaced pick are
+	// parallel even though their reads are non-affine (the read arrays
+	// are not written in the loop).
+	res = analyzeCh4(t, Winnow, false)
+	if verdict(t, res, "WNNW/300").Dep.Parallelizable {
+		t.Error("wnnw/300 (packing) must stay sequential")
+	}
+	if verdict(t, res, "WNNW/330").Dep.Parallelizable {
+		t.Error("wnnw/330 (sort) must stay sequential")
+	}
+	if !verdict(t, res, "WNNW/320").Dep.Parallelizable {
+		t.Errorf("wnnw/320 (weights) should parallelize: %v", verdict(t, res, "WNNW/320").Dep.Blocking)
+	}
+	if !verdict(t, res, "WNNW/360").Dep.Parallelizable {
+		t.Errorf("wnnw/360 (spaced pick) should parallelize: %v", verdict(t, res, "WNNW/360").Dep.Blocking)
+	}
+
+	// outer: the row loop parallelizes (rm/dx/dy privatize; rows are
+	// disjoint including the diagonal fix-up).
+	res = analyzeCh4(t, Outer, false)
+	if !verdict(t, res, "OUTR/400").Dep.Parallelizable {
+		t.Errorf("outr/400 should parallelize: %v", verdict(t, res, "OUTR/400").Dep.Blocking)
+	}
+
+	// product: the matvec row loop parallelizes with s privatized.
+	res = analyzeCh4(t, Product, false)
+	if !verdict(t, res, "MVEC/500").Dep.Parallelizable {
+		t.Errorf("mvec/500 should parallelize: %v", verdict(t, res, "MVEC/500").Dep.Blocking)
+	}
+}
+
+// TestNanzChosen: every Nanz task ends up with at least one loop the
+// parallelizer actually chooses — the property the differential and
+// speedup harnesses key on.
+func TestNanzChosen(t *testing.T) {
+	for _, w := range Suite("nanz") {
+		res := analyzeCh4(t, w, true)
+		chosen := 0
+		for _, li := range res.Ordered {
+			if li.Chosen {
+				chosen++
+			}
+		}
+		if chosen == 0 {
+			t.Errorf("%s: no loop chosen for parallel execution", w.Name)
+		}
+	}
+}
