@@ -1,0 +1,47 @@
+// Auto-tuning search benchmarks, committed as BENCH_tune.json (see
+// EXPERIMENTS.md). Each sub-benchmark times a full tuning sweep over one
+// workload's approved plan and attaches the search's deterministic verdict
+// as custom metrics: the modeled chosen-vs-default program speedup, the
+// smallest per-nest speedup (the acceptance floor: never below 1), and the
+// audit-trail sizes. Scores come from virtual-time runs and the machine
+// cost model, so every metric is reproducible on a single-core runner.
+package suifx_test
+
+import (
+	"context"
+	"testing"
+
+	"suifx/internal/experiments"
+	"suifx/internal/tune"
+	"suifx/internal/workloads"
+)
+
+// tuneBenchApps lists the Chapter 4 evaluation trio plus the Nanz multicore
+// suite — the same workload set BENCH_parallel curves cover.
+func tuneBenchApps() []string {
+	apps := []string{"mdg", "applu", "hydro"}
+	for _, w := range workloads.Suite("nanz") {
+		apps = append(apps, w.Name)
+	}
+	return apps
+}
+
+func BenchmarkTune(b *testing.B) {
+	for _, app := range tuneBenchApps() {
+		b.Run(app, func(b *testing.B) {
+			var rep *tune.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, _, err = experiments.TuneApp(context.Background(), app, tune.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.Speedup, "tune_speedup")
+			b.ReportMetric(rep.MinLoopSpeedup(), "min_loop_speedup")
+			b.ReportMetric(float64(rep.Runs), "runs")
+			b.ReportMetric(float64(rep.Searched), "searched")
+			b.ReportMetric(float64(rep.Pruned), "pruned")
+		})
+	}
+}

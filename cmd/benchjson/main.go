@@ -218,6 +218,41 @@ func derive(rep *Report) {
 		rep.Derived["scale_analyze_superlinearity"] = round2(scaleMax.perKloc / scaleMin.perKloc)
 	}
 
+	// Tune/<app> rows (BENCH_tune.json): copy each search's modeled
+	// chosen-vs-default speedup and its per-nest floor into the derived
+	// block, plus the ladder-wide acceptance numbers — the worst per-nest
+	// speedup anywhere (must stay ≥ 1: the default plan is in the candidate
+	// set) and the best whole-program win.
+	tuneWorst, tuneBest := 0.0, 0.0
+	tuneSeen := false
+	for _, bm := range rep.Benchmarks {
+		app, found := strings.CutPrefix(bm.Name, "Tune/")
+		if !found || strings.Contains(app, "/") {
+			continue
+		}
+		sp, okS := bm.Metrics["tune_speedup"]
+		fl, okF := bm.Metrics["min_loop_speedup"]
+		if !okS || !okF {
+			continue
+		}
+		if rep.Derived == nil {
+			rep.Derived = map[string]float64{}
+		}
+		rep.Derived["tune_"+app+"_speedup"] = round2(sp)
+		rep.Derived["tune_"+app+"_min_loop_speedup"] = round2(fl)
+		if !tuneSeen || fl < tuneWorst {
+			tuneWorst = fl
+		}
+		if !tuneSeen || sp > tuneBest {
+			tuneBest = sp
+		}
+		tuneSeen = true
+	}
+	if tuneSeen {
+		rep.Derived["tune_min_loop_speedup"] = round2(tuneWorst)
+		rep.Derived["tune_best_speedup"] = round2(tuneBest)
+	}
+
 	cold, okC := byName["SessionColdAnalyze"]
 	incr, okI := byName["SessionIncrementalReanalyze"]
 	if okC && okI && incr.NsPerOp > 0 {

@@ -6,10 +6,17 @@
 //
 //	suifpar [-noreductions] [-liveness] [-workers n] file.f
 //	suifpar -workload mdg
+//	suifpar -auto [-budget n] [-depth d] [-machine alpha] -workload mdg
+//
+// With -auto it additionally runs the tuning search: every approved nest's
+// strategy space (worker count, schedule, reduction discipline, interchange
+// depth) is executed under virtual time and scored with the machine cost
+// model, and the winning plan is reported per nest.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,7 +24,9 @@ import (
 
 	"suifx/internal/driver"
 	"suifx/internal/liveness"
+	"suifx/internal/machine"
 	"suifx/internal/parallel"
+	"suifx/internal/tune"
 	"suifx/internal/workloads"
 )
 
@@ -26,6 +35,11 @@ func main() {
 	useLive := flag.Bool("liveness", false, "enable the Chapter 5 array liveness analysis")
 	wl := flag.String("workload", "", "analyze a built-in workload instead of a file")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
+	auto := flag.Bool("auto", false, "run the auto-tuning parallelization search over the approved loops")
+	budget := flag.Int("budget", 0, "auto: max plan executions (0 = unlimited)")
+	depth := flag.Int("depth", 1, "auto: max interchange depth to search")
+	machName := flag.String("machine", "alpha", "auto: cost model (alpha, challenge, origin)")
+	asJSON := flag.Bool("json", false, "auto: emit the full tune report as JSON")
 	flag.Parse()
 
 	var name, src string
@@ -60,6 +74,13 @@ func main() {
 	}
 	res := parallel.ParallelizeWith(sum, cfg)
 
+	if *auto {
+		if err := runAuto(ctx, res, *budget, *depth, *machName, *asJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	stats := res.Stats()
 	fmt.Printf("%s: %d loops, %d parallelizable (%d need reductions), %d sequential\n\n",
 		name, stats.TotalLoops, stats.ParallelizableN, stats.WithReductionN, stats.SequentialN)
@@ -87,6 +108,60 @@ func main() {
 			}
 		}
 	}
+}
+
+// runAuto executes the tuning search and prints the winning plan per nest.
+func runAuto(ctx context.Context, res *parallel.Result, budget, depth int, machName string, asJSON bool) error {
+	var model *machine.Model
+	switch machName {
+	case "", "alpha":
+		model = machine.AlphaServer8400()
+	case "challenge":
+		model = machine.SGIChallenge()
+	case "origin":
+		model = machine.SGIOrigin()
+	default:
+		return fmt.Errorf("unknown machine %q (want alpha, challenge or origin)", machName)
+	}
+	rep, err := tune.Search(ctx, res, tune.Config{
+		MaxRuns:  budget,
+		MaxDepth: depth,
+		Model:    model,
+	})
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(append(data, '\n'))
+		return nil
+	}
+	fmt.Printf("%s: tuned %d nests in %d runs (%d variants scored, %d pruned)\n",
+		res.Prog.Name, len(rep.Loops), rep.Runs, rep.Searched, rep.Pruned)
+	if rep.BudgetExhausted {
+		fmt.Println("  search budget exhausted: unexecuted variants counted as pruned")
+	}
+	fmt.Printf("  machine %s, default plan %dw/even/staggered\n\n", rep.Machine, rep.DefaultWorkers)
+	fmt.Printf("%-20s %8s  %-28s %10s\n", "NEST", "SEQ OPS", "CHOSEN PLAN", "SPEEDUP")
+	for _, lr := range rep.Loops {
+		plan := "sequential (parallel loses)"
+		if lr.Chosen.Workers > 1 {
+			disc := "single-lock"
+			if lr.Chosen.Staggered {
+				disc = "staggered"
+			}
+			plan = fmt.Sprintf("%dw/%s/%s", lr.Chosen.Workers, lr.Chosen.Schedule, disc)
+			if lr.Chosen.Depth > 0 {
+				plan += fmt.Sprintf("/depth-%d", lr.Chosen.Depth)
+			}
+		}
+		fmt.Printf("%-20s %8d  %-28s %9.2fx\n", lr.ID, lr.SeqOps, plan, lr.Speedup)
+	}
+	fmt.Printf("\nwhole program: %.2fx modeled speedup over the default plan\n", rep.Speedup)
+	return nil
 }
 
 func fatal(err error) {

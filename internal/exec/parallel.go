@@ -22,11 +22,33 @@ type LoopPlan struct {
 	Private    []*ir.Symbol
 	Finalize   []*ir.Symbol // privates written back from the last iteration
 	Reductions []ReductionPlan
+	// Schedule is the §4.5 dispatcher policy for this loop. The dispatcher
+	// reads it from the plan — there is no engine-side default that could
+	// silently disagree with what the plan's builder intended.
+	Schedule Schedule
+	// MaxWorkers, when > 0, caps this loop's schedule width below the
+	// plan-wide worker count — the tuner's per-loop worker-count knob.
+	// Storage banks are still allocated for the plan-wide count, and the
+	// §5.4 last-position bank is unchanged.
+	MaxWorkers int
 	// Staggered selects the §6.3.4 finalization: the reduction region is
 	// partitioned into Chunks sections finalized concurrently and worker w
 	// starts at chunk w, minimizing contention. False = one global lock.
 	Staggered bool
 	Chunks    int
+}
+
+// width returns the loop's schedule width for a trip count: the plan-wide
+// worker count, clamped by the loop's MaxWorkers knob and by trips.
+func (lp *LoopPlan) width(planWorkers int, trips int64) int {
+	workers := planWorkers
+	if lp.MaxWorkers > 0 && workers > lp.MaxWorkers {
+		workers = lp.MaxWorkers
+	}
+	if trips < int64(workers) {
+		workers = int(trips)
+	}
+	return workers
 }
 
 // ParallelPlan carries all loop plans plus the worker count.
@@ -170,43 +192,45 @@ func combine(op string, a, b float64) float64 {
 }
 
 // planWorkerIDs maps schedule positions to storage-bank IDs when the worker
-// count is clamped to the trip count. The LAST plan worker keeps the
-// original storage as its private copy (§5.4), so the last position must
-// always be that worker; every other position uses its own bank.
-func planWorkerIDs(planWorkers, workers int) []int {
+// count is clamped to the trip count (or capped per loop). The LAST plan
+// worker keeps the original storage as its private copy (§5.4), so the
+// position executing the globally last iteration — which the schedule
+// determines — must always be that worker; every other position uses its
+// own bank.
+func planWorkerIDs(planWorkers, workers, lastPos int) []int {
 	ids := make([]int, workers)
 	for p := range ids {
 		ids[p] = p
 	}
-	ids[workers-1] = planWorkers - 1
+	old := ids[lastPos]
+	ids[lastPos] = planWorkers - 1
+	if planWorkers == workers && lastPos != workers-1 {
+		ids[workers-1] = old // keep the bank set distinct
+	}
 	return ids
 }
 
 // execParallelLoop runs one approved loop across the plan's workers on the
 // tree-walking engine.
 func (in *Interp) execParallelLoop(f *frame, l *ir.DoLoop, lp *LoopPlan, lo, hi, step float64, trips int64) (signal, error) {
-	workers := in.plan.Workers
-	if trips < int64(workers) {
-		workers = int(trips)
-	}
+	workers := lp.width(in.plan.Workers, trips)
 	if workers == 0 {
 		return sigNone, nil
 	}
 	counters.parallelLoopRuns.Add(1)
 	counters.parallelWorkers.Add(int64(workers))
-	ids := planWorkerIDs(in.plan.Workers, workers)
+	ids := planWorkerIDs(in.plan.Workers, workers, lastPosition(lp.Schedule, trips, workers))
 	bases := in.workerBase[l]
 	var wg sync.WaitGroup
 	errs := make([]error, workers)
 	wops := make([]int64, workers)
 
-	// Iterations are evenly divided between the processors at spawn time
-	// (§4.5): position p gets [p*trips/W, (p+1)*trips/W).
+	// Iterations are assigned to positions by the plan's schedule (§4.5):
+	// even contiguous chunks, cyclic interleaving, or guided shrinking
+	// chunks — forEachAssigned is the single source of truth.
 	for p := 0; p < workers; p++ {
-		wlo := int64(p) * trips / int64(workers)
-		whi := int64(p+1) * trips / int64(workers)
 		wg.Add(1)
-		go func(p int, wlo, whi int64) {
+		go func(p int) {
 			defer wg.Done()
 			id := ids[p]
 			wi := in.workerClone(l, id)
@@ -250,15 +274,16 @@ func (in *Interp) execParallelLoop(f *frame, l *ir.DoLoop, lp *LoopPlan, lo, hi,
 				bind(r.Sym, true, r.Op)
 			}
 			idx := wi.refOf(wf, l.Index)
-			for it := wlo; it < whi; it++ {
+			if err := forEachAssigned(lp.Schedule, trips, workers, p, func(it int64) error {
 				wi.arena[idx.Base] = lo + float64(it)*step
-				if _, err := wi.execStmts(wf, l.Body); err != nil {
-					errs[p] = err
-					return
-				}
+				_, err := wi.execStmts(wf, l.Body)
+				return err
+			}); err != nil {
+				errs[p] = err
+				return
 			}
 			wops[p] = wi.ops
-		}(p, wlo, whi)
+		}(p)
 	}
 	wg.Wait()
 	for _, o := range wops {
@@ -269,7 +294,7 @@ func (in *Interp) execParallelLoop(f *frame, l *ir.DoLoop, lp *LoopPlan, lo, hi,
 			return sigNone, err
 		}
 	}
-	in.noteParallel(l, wops)
+	in.noteParallel(l, lp, wops)
 	in.finalizeParallel(f, l, lp, workers, ids)
 	return sigNone, nil
 }
@@ -494,31 +519,26 @@ func (in *Interp) ensurePlanRT(cd *code) *planRT {
 	return rt
 }
 
-// runLoop executes one planned loop on the bytecode engine: the §4.5
-// even-chunk schedule with one VM instance per worker over the shared
-// arena, followed by deterministic reduction finalization. Worker ops are
-// folded into the dispatching VM's clock, matching the tree-walker.
+// runLoop executes one planned loop on the bytecode engine: the plan's
+// §4.5 schedule with one VM instance per worker over the shared arena,
+// followed by deterministic reduction finalization. Worker ops are folded
+// into the dispatching VM's clock, matching the tree-walker.
 func (rt *planRT) runLoop(v *vm, lrt *vmLoopRT, params []int64, lo, step float64, trips int64) error {
 	in := rt.in
-	workers := in.plan.Workers
-	if trips < int64(workers) {
-		workers = int(trips)
-	}
+	workers := lrt.lp.width(in.plan.Workers, trips)
 	if workers == 0 {
 		return nil
 	}
 	counters.parallelLoopRuns.Add(1)
 	counters.parallelWorkers.Add(int64(workers))
-	ids := planWorkerIDs(in.plan.Workers, workers)
+	ids := planWorkerIDs(in.plan.Workers, workers, lastPosition(lrt.lp.Schedule, trips, workers))
 	psnap := append([]int64(nil), params...)
 	errs := make([]error, workers)
 	wops := make([]int64, workers)
 	var wg sync.WaitGroup
 	for p := 0; p < workers; p++ {
-		wlo := int64(p) * trips / int64(workers)
-		whi := int64(p+1) * trips / int64(workers)
 		wg.Add(1)
-		go func(p int, wlo, whi int64) {
+		go func(p int) {
 			defer wg.Done()
 			view := &lrt.views[ids[p]]
 			for _, init := range view.inits {
@@ -541,15 +561,15 @@ func (rt *planRT) runLoop(v *vm, lrt *vmLoopRT, params []int64, lo, step float64
 				tempLimit:  tb + tempCells,
 				maxOps:     math.MaxInt64,
 			}
-			for it := wlo; it < whi; it++ {
+			if err := forEachAssigned(lrt.lp.Schedule, trips, workers, p, func(it int64) error {
 				in.arena[view.idxAddr] = lo + float64(it)*step
-				if err := wv.run(); err != nil {
-					errs[p] = err
-					return
-				}
+				return wv.run()
+			}); err != nil {
+				errs[p] = err
+				return
 			}
 			wops[p] = wv.ops
-		}(p, wlo, whi)
+		}(p)
 	}
 	wg.Wait()
 	for _, o := range wops {
@@ -560,7 +580,7 @@ func (rt *planRT) runLoop(v *vm, lrt *vmLoopRT, params []int64, lo, step float64
 			return err
 		}
 	}
-	in.noteParallel(lrt.l, wops)
+	in.noteParallel(lrt.l, lrt.lp, wops)
 	for _, red := range lrt.lp.Reductions {
 		wb := make([]int64, workers)
 		for p := 0; p < workers; p++ {
@@ -578,6 +598,7 @@ func (rt *planRT) runLoop(v *vm, lrt *vmLoopRT, params []int64, lo, step float64
 type ParLoopStat struct {
 	Line        int    // source line of the DO statement
 	Index       string // loop index variable name
+	Schedule    string // the dispatcher policy the plan selected
 	Invocations int64
 	Workers     int   // widest schedule observed
 	WorkerOps   int64 // Σ over invocations and workers of worker ops
@@ -586,13 +607,13 @@ type ParLoopStat struct {
 
 // noteParallel accumulates one planned-loop invocation's schedule profile.
 // Dispatch is always from the sequential part of the run, so no locking.
-func (in *Interp) noteParallel(l *ir.DoLoop, wops []int64) {
+func (in *Interp) noteParallel(l *ir.DoLoop, lp *LoopPlan, wops []int64) {
 	if in.parStats == nil {
 		in.parStats = map[*ir.DoLoop]*ParLoopStat{}
 	}
 	st := in.parStats[l]
 	if st == nil {
-		st = &ParLoopStat{Line: l.Pos.Line, Index: l.Index.Name}
+		st = &ParLoopStat{Line: l.Pos.Line, Index: l.Index.Name, Schedule: lp.Schedule.String()}
 		in.parStats[l] = st
 	}
 	st.Invocations++

@@ -1,0 +1,133 @@
+package exec
+
+import "fmt"
+
+// Schedule selects the §4.5 dispatcher's iteration-assignment policy for one
+// planned loop. Every policy is a pure function of (trips, workers), so a
+// plan's execution — and its virtual-time profile — is deterministic for a
+// fixed schedule regardless of goroutine interleaving.
+type Schedule uint8
+
+const (
+	// ScheduleEven divides the iteration space into one contiguous chunk
+	// per worker at spawn time: position p runs [p*trips/W, (p+1)*trips/W).
+	// This is the paper's §4.5 baseline.
+	ScheduleEven Schedule = iota
+	// ScheduleInterleaved deals iterations out cyclically: position p runs
+	// p, p+W, p+2W, ... Balances nests whose per-iteration cost grows or
+	// shrinks with the index (triangular loops).
+	ScheduleInterleaved
+	// ScheduleGuided hands out shrinking contiguous chunks — chunk size
+	// max(1, remaining/(2W)) — assigned round-robin to positions, trading
+	// the even schedule's low dispatch count against tail imbalance.
+	ScheduleGuided
+)
+
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleInterleaved:
+		return "interleaved"
+	case ScheduleGuided:
+		return "guided"
+	}
+	return "even"
+}
+
+// Schedules lists every dispatcher policy, in a fixed order the tuner's
+// search space and the differential suites share.
+func Schedules() []Schedule {
+	return []Schedule{ScheduleEven, ScheduleInterleaved, ScheduleGuided}
+}
+
+// ParseSchedule maps a user-facing schedule name to a Schedule. Accepts
+// "even" and "" (even), "interleaved", "guided".
+func ParseSchedule(s string) (Schedule, error) {
+	switch s {
+	case "", "even":
+		return ScheduleEven, nil
+	case "interleaved":
+		return ScheduleInterleaved, nil
+	case "guided":
+		return ScheduleGuided, nil
+	}
+	return ScheduleEven, fmt.Errorf("exec: unknown schedule %q (want even, interleaved or guided)", s)
+}
+
+// guidedNext returns the size of the next guided chunk when `remaining`
+// iterations are left on a workers-wide schedule.
+func guidedNext(remaining int64, workers int) int64 {
+	c := remaining / int64(2*workers)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// forEachAssigned drives position pos's share of a trips-iteration loop in
+// increasing iteration order. Both engines dispatch through this one
+// function, so a plan's schedule and the dispatcher cannot disagree: the
+// assignment is defined here and nowhere else.
+func forEachAssigned(sched Schedule, trips int64, workers, pos int, body func(it int64) error) error {
+	w := int64(workers)
+	switch sched {
+	case ScheduleInterleaved:
+		for it := int64(pos); it < trips; it += w {
+			if err := body(it); err != nil {
+				return err
+			}
+		}
+	case ScheduleGuided:
+		var lo int64
+		for c := 0; lo < trips; c++ {
+			n := guidedNext(trips-lo, workers)
+			if lo+n > trips {
+				n = trips - lo
+			}
+			if c%workers == pos {
+				for it := lo; it < lo+n; it++ {
+					if err := body(it); err != nil {
+						return err
+					}
+				}
+			}
+			lo += n
+		}
+	default: // ScheduleEven
+		wlo := int64(pos) * trips / w
+		whi := int64(pos+1) * trips / w
+		for it := wlo; it < whi; it++ {
+			if err := body(it); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// lastPosition returns the schedule position that executes the globally
+// last iteration (trips-1). The §5.4 storage rule binds that position to
+// the original storage bank, so a finalized private's last write lands in
+// shared memory exactly as a sequential run leaves it.
+func lastPosition(sched Schedule, trips int64, workers int) int {
+	if trips <= 0 || workers <= 1 {
+		return 0
+	}
+	switch sched {
+	case ScheduleInterleaved:
+		return int((trips - 1) % int64(workers))
+	case ScheduleGuided:
+		var lo int64
+		last := 0
+		for c := 0; lo < trips; c++ {
+			n := guidedNext(trips-lo, workers)
+			if lo+n > trips {
+				n = trips - lo
+			}
+			last = c % workers
+			lo += n
+		}
+		return last
+	default:
+		return workers - 1
+	}
+}

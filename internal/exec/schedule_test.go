@@ -1,0 +1,268 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"suifx/internal/ir"
+	"suifx/internal/minif"
+)
+
+// TestSchedulePartition proves every dispatcher policy is a partition: over
+// all positions, each iteration of [0, trips) is executed exactly once, in
+// increasing order per position, and lastPosition names the position that
+// actually receives the globally last iteration — the §5.4 storage-binding
+// contract every schedule must honor.
+func TestSchedulePartition(t *testing.T) {
+	cases := []struct {
+		trips   int64
+		workers int
+	}{
+		{0, 4}, {1, 1}, {1, 4}, {2, 4}, {3, 2}, {7, 3}, {8, 8}, {10, 4},
+		{100, 7}, {1000, 8}, {37, 5}, {64, 8},
+	}
+	for _, sched := range Schedules() {
+		for _, c := range cases {
+			seen := make([]int, c.trips)
+			lastSeenPos := -1
+			for pos := 0; pos < c.workers; pos++ {
+				prev := int64(-1)
+				err := forEachAssigned(sched, c.trips, c.workers, pos, func(it int64) error {
+					if it < 0 || it >= c.trips {
+						t.Fatalf("%v trips=%d W=%d pos=%d: iteration %d out of range",
+							sched, c.trips, c.workers, pos, it)
+					}
+					if it <= prev {
+						t.Fatalf("%v trips=%d W=%d pos=%d: iteration %d after %d (not increasing)",
+							sched, c.trips, c.workers, pos, it, prev)
+					}
+					prev = it
+					seen[it]++
+					if it == c.trips-1 {
+						lastSeenPos = pos
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			for it, n := range seen {
+				if n != 1 {
+					t.Fatalf("%v trips=%d W=%d: iteration %d executed %d times",
+						sched, c.trips, c.workers, it, n)
+				}
+			}
+			if c.trips > 0 {
+				if got := lastPosition(sched, c.trips, c.workers); got != lastSeenPos {
+					t.Fatalf("%v trips=%d W=%d: lastPosition = %d but position %d ran the last iteration",
+						sched, c.trips, c.workers, got, lastSeenPos)
+				}
+			}
+		}
+	}
+}
+
+// TestParseScheduleRoundTrip pins name parsing and String round-trips.
+func TestParseScheduleRoundTrip(t *testing.T) {
+	for _, s := range Schedules() {
+		got, err := ParseSchedule(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseSchedule(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if s, err := ParseSchedule(""); err != nil || s != ScheduleEven {
+		t.Errorf("empty name should parse as even, got %v, %v", s, err)
+	}
+	if _, err := ParseSchedule("random"); err == nil {
+		t.Error("unknown schedule name must error")
+	}
+}
+
+// TestGuidedChunks pins the guided chunk formula: chunks never drop below
+// one iteration and never grow as the remaining space shrinks.
+func TestGuidedChunks(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		remaining, prev := int64(1000), int64(1 << 62)
+		for remaining > 0 {
+			c := guidedNext(remaining, workers)
+			if c < 1 || c > remaining && remaining >= 1 && c != 1 {
+				t.Fatalf("W=%d remaining=%d: chunk %d", workers, remaining, c)
+			}
+			if c > prev {
+				t.Fatalf("W=%d: chunk grew %d -> %d", workers, prev, c)
+			}
+			prev = c
+			if c > remaining {
+				c = remaining
+			}
+			remaining -= c
+		}
+	}
+}
+
+// runPlannedSched executes redSrc under its reduction plan with the given
+// schedule and returns the finished interpreter.
+func runPlannedSched(t *testing.T, mode ExecMode, workers int, staggered bool, sched Schedule) *Interp {
+	t.Helper()
+	prog := minif.MustParse("t", redSrc)
+	plan := planFor(t, prog, workers, staggered)
+	for _, lp := range plan.Loops {
+		lp.Schedule = sched
+	}
+	in := NewWithPlan(prog, plan)
+	in.Mode = mode
+	if err := in.Run(); err != nil {
+		t.Fatalf("mode=%v workers=%d sched=%v: %v", mode, workers, sched, err)
+	}
+	return in
+}
+
+// TestScheduleDispatchAgreement is the satellite regression pinning
+// schedule↔dispatch agreement: the plan's schedule is what the dispatcher
+// actually runs (surfaced through ParLoopStat.Schedule), both engines
+// execute the same assignment bit-for-bit, and the §5.4 storage rule holds
+// under every policy — the planned run's live arena matches sequential.
+func TestScheduleDispatchAgreement(t *testing.T) {
+	seq := New(minif.MustParse("t", redSrc))
+	if err := seq.Run(); err != nil {
+		t.Fatal(err)
+	}
+	n := seq.ArenaSize()
+	for _, sched := range Schedules() {
+		for _, workers := range []int{2, 4, 8} {
+			tree := runPlannedSched(t, ModeTree, workers, true, sched)
+			vm := runPlannedSched(t, ModeBytecode, workers, true, sched)
+			for _, in := range []*Interp{tree, vm} {
+				stats := in.ParallelStats()
+				if len(stats) != 1 {
+					t.Fatalf("sched=%v: want 1 stat, got %d", sched, len(stats))
+				}
+				if stats[0].Schedule != sched.String() {
+					t.Fatalf("sched=%v W=%d: dispatcher reported schedule %q — plan and dispatch disagree",
+						sched, workers, stats[0].Schedule)
+				}
+			}
+			if tree.Ops() != vm.Ops() {
+				t.Errorf("sched=%v W=%d: ops differ: tree %d vs vm %d", sched, workers, tree.Ops(), vm.Ops())
+			}
+			ta, va := tree.Arena(), vm.Arena()
+			for i := range ta {
+				if math.Float64bits(ta[i]) != math.Float64bits(va[i]) {
+					t.Errorf("sched=%v W=%d: cell %d differs between engines: %g vs %g",
+						sched, workers, i, ta[i], va[i])
+					break
+				}
+			}
+			if err := Validate(seq.Arena()[:n], vm.Arena()[:n], 1e-9); err != nil {
+				t.Errorf("sched=%v W=%d vs sequential: %v", sched, workers, err)
+			}
+		}
+	}
+}
+
+// TestScheduleReductionDeterminism extends the PR 5 bit-identity regression
+// to the full (schedule × discipline) matrix at W∈{1,2,4}: 20 repeated runs
+// of the reduction kernel must produce bit-identical arenas for every
+// combination on both engines, since worker contributions merge in fixed
+// index order whatever the assignment policy.
+func TestScheduleReductionDeterminism(t *testing.T) {
+	for _, mode := range []ExecMode{ModeTree, ModeBytecode} {
+		for _, sched := range Schedules() {
+			for _, staggered := range []bool{false, true} {
+				for _, workers := range []int{1, 2, 4} {
+					var first []uint64
+					for run := 0; run < 20; run++ {
+						in := runPlannedSched(t, mode, workers, staggered, sched)
+						bits := make([]uint64, len(in.Arena()))
+						for i, v := range in.Arena() {
+							bits[i] = math.Float64bits(v)
+						}
+						if first == nil {
+							first = bits
+							continue
+						}
+						for i := range bits {
+							if bits[i] != first[i] {
+								t.Fatalf("mode=%v sched=%v staggered=%v W=%d run %d: cell %d differs: %x vs %x",
+									mode, sched, staggered, workers, run, i, bits[i], first[i])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// triSrc is a triangular kernel: iteration i does O(i) work, so the even
+// schedule's last chunk dominates the critical path while interleaving
+// balances it — the measurable difference the tuner's schedule knob exists
+// to exploit.
+const triSrc = `
+      PROGRAM main
+      REAL a(200), s(200)
+      INTEGER i, j
+      DO 5 i = 1, 200
+        a(i) = MOD(i, 13) + 1
+5     CONTINUE
+      DO 10 i = 1, 200
+        DO 8 j = 1, i
+          s(i) = s(i) + a(j)
+8       CONTINUE
+10    CONTINUE
+      END
+`
+
+// TestScheduleBalanceTriangular checks the schedules differ where they
+// should: on a triangular loop the interleaved critical path is strictly
+// shorter than the even one, and every schedule still matches the
+// sequential arena.
+func TestScheduleBalanceTriangular(t *testing.T) {
+	seq := New(minif.MustParse("t", triSrc))
+	if err := seq.Run(); err != nil {
+		t.Fatal(err)
+	}
+	n := seq.ArenaSize()
+	crit := map[Schedule]int64{}
+	for _, sched := range Schedules() {
+		parProg := minif.MustParse("t", triSrc)
+		main := parProg.Main()
+		var l10 *ir.DoLoop
+		for _, l := range main.Loops() {
+			if l.Label == "10" {
+				l10 = l
+			}
+		}
+		if l10 == nil {
+			t.Fatal("no loop 10")
+		}
+		plan := &ParallelPlan{
+			Workers: 4,
+			Loops: map[*ir.DoLoop]*LoopPlan{
+				l10: {Private: []*ir.Symbol{main.Lookup("J")}, Schedule: sched},
+			},
+		}
+		in := NewWithPlan(parProg, plan)
+		in.Mode = ModeBytecode
+		if err := in.Run(); err != nil {
+			t.Fatalf("sched=%v: %v", sched, err)
+		}
+		if err := Validate(seq.Arena()[:n], in.Arena()[:n], 0); err != nil {
+			t.Errorf("sched=%v vs sequential: %v", sched, err)
+		}
+		stats := in.ParallelStats()
+		if len(stats) != 1 {
+			t.Fatalf("sched=%v: want 1 stat, got %d", sched, len(stats))
+		}
+		crit[sched] = stats[0].CritOps
+	}
+	if crit[ScheduleInterleaved] >= crit[ScheduleEven] {
+		t.Errorf("interleaved crit %d should beat even crit %d on a triangular loop",
+			crit[ScheduleInterleaved], crit[ScheduleEven])
+	}
+	if crit[ScheduleGuided] >= crit[ScheduleEven] {
+		t.Errorf("guided crit %d should beat even crit %d on a triangular loop",
+			crit[ScheduleGuided], crit[ScheduleEven])
+	}
+}

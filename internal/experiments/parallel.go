@@ -92,16 +92,30 @@ func ParallelSpeedups(name string, workers []int) ([]ParallelPoint, error) {
 // and callee locals), and compare the rest.
 func validateParallelRun(name string, workers int, mode exec.ExecMode, staggered bool) error {
 	w := workloads.ByName(name)
-	prog, _ := cachedAnalysis(w)
-	seq := exec.New(prog)
+	prog, sum := cachedAnalysis(w)
+	_ = prog
+	res := parallel.ParallelizeWith(sum, ch4Config(w, true))
+	plan := parallel.BuildPlanOpts(res, parallel.PlanOptions{
+		Workers: workers, Staggered: staggered, Chunks: 4,
+	})
+	return ValidatePlanned(res, plan, mode)
+}
+
+// ValidatePlanned runs res's program sequentially and under an arbitrary
+// execution plan over the same parallelization result — any schedule,
+// discipline, per-loop worker cap or interchange depth the tuner may
+// enumerate — and compares live storage under the parallel-dead masks. It
+// is the bit-identity oracle for every tuner variant: a plan that survives
+// it produced the sequential answer.
+func ValidatePlanned(res *parallel.Result, plan *exec.ParallelPlan, mode exec.ExecMode) error {
+	seq := exec.New(res.Prog)
 	seq.Mode = mode
 	if err := seq.Run(); err != nil {
 		return err
 	}
-	par, res, err := RunParallel(name, ParallelRunOptions{
-		Workers: workers, Mode: mode, Staggered: staggered, Chunks: 4,
-	})
-	if err != nil {
+	par := exec.NewWithPlan(res.Prog, plan)
+	par.Mode = mode
+	if err := par.Run(); err != nil {
 		return err
 	}
 	// Compare only live program storage: everything from ScratchBase on is
@@ -110,15 +124,17 @@ func validateParallelRun(name string, workers int, mode exec.ExecMode, staggered
 	n := seq.ScratchBase()
 	seqA := append([]float64(nil), seq.Arena()[:n]...)
 	parA := append([]float64(nil), par.Arena()[:n]...)
-	maskParallelDead(res, par, seqA, parA)
+	maskPlannedDead(res, plan, par, seqA, parA)
 	return exec.Validate(seqA, parA, 1e-6)
 }
 
-// maskParallelDead zeroes the cells of both images that a parallel run may
+// maskPlannedDead zeroes the cells of both images that a planned run may
 // legitimately leave different from a sequential run: privatized variables
-// (including inner loop indices) and the static locals of procedures called
-// inside parallel loops.
-func maskParallelDead(res *parallel.Result, in *exec.Interp, seqA, parA []float64) {
+// (including inner loop indices) of each planned loop and the static locals
+// of procedures called inside it. It masks by the plan's actual loops — a
+// tuner interchange variant plans an inner nest level, and that level's
+// classification (not the outermost one) names the privatized storage.
+func maskPlannedDead(res *parallel.Result, plan *exec.ParallelPlan, in *exec.Interp, seqA, parA []float64) {
 	n := int64(len(seqA))
 	mask := func(lo, hi int64) {
 		for i := lo; i <= hi && i < n; i++ {
@@ -126,7 +142,7 @@ func maskParallelDead(res *parallel.Result, in *exec.Interp, seqA, parA []float6
 		}
 	}
 	for _, li := range res.Ordered {
-		if !li.Chosen {
+		if plan.Loops[li.Region.Loop] == nil {
 			continue
 		}
 		proc := li.Region.Proc.Name

@@ -123,7 +123,7 @@ func TestCorpusScaleSoundness(t *testing.T) {
 				n := seq.ScratchBase()
 				seqA := append([]float64(nil), seq.Arena()[:n]...)
 				parA := append([]float64(nil), par.Arena()[:n]...)
-				maskParallelDead(res, par, seqA, parA)
+				maskPlannedDead(res, plan, par, seqA, parA)
 				if err := exec.Validate(seqA, parA, 1e-6); err != nil {
 					t.Errorf("W=%d: %v", workers, err)
 				}

@@ -3,12 +3,19 @@ package parallel
 import (
 	"suifx/internal/exec"
 	"suifx/internal/ir"
+	"suifx/internal/region"
 )
 
 // PlanOptions selects the runtime schedule for an execution plan built from
-// a parallelization result.
+// a parallelization result. The schedule travels inside the plan (one field
+// per loop), so the §4.5 dispatcher executes exactly the policy the plan
+// was built with — a variant enumerated by the tuner cannot silently
+// disagree with what the engine runs.
 type PlanOptions struct {
 	Workers int
+	// Schedule is the iteration-assignment policy (§4.5): even contiguous
+	// chunks (default), cyclic interleaving, or guided shrinking chunks.
+	Schedule exec.Schedule
 	// Staggered selects the §6.3.4 chunked reduction finalization; false is
 	// the §6.3.2 single-lock (serial-order) baseline.
 	Staggered bool
@@ -18,35 +25,95 @@ type PlanOptions struct {
 // BuildPlan converts a parallelization result into a runtime execution plan
 // for the chosen loops — privatized variables (inner indices included),
 // last-iteration finalization lists, and reduction accumulators — with the
-// staggered finalization of §6.3.4.
+// even-chunk schedule and the staggered finalization of §6.3.4.
 func BuildPlan(res *Result, workers int) *exec.ParallelPlan {
 	return BuildPlanOpts(res, PlanOptions{Workers: workers, Staggered: true, Chunks: 4})
 }
 
-// BuildPlanOpts is BuildPlan with an explicit finalization discipline.
+// BuildPlanOpts is BuildPlan with an explicit schedule and finalization
+// discipline applied to every chosen loop.
 func BuildPlanOpts(res *Result, opt PlanOptions) *exec.ParallelPlan {
 	plan := &exec.ParallelPlan{Workers: opt.Workers, Loops: map[*ir.DoLoop]*exec.LoopPlan{}}
 	for _, li := range res.Ordered {
 		if !li.Chosen {
 			continue
 		}
-		lp := &exec.LoopPlan{Staggered: opt.Staggered, Chunks: opt.Chunks}
-		for _, vr := range li.Dep.Vars {
-			switch vr.Class.String() {
-			case "private":
-				lp.Private = append(lp.Private, vr.Sym)
-				if vr.NeedsFinalization {
-					lp.Finalize = append(lp.Finalize, vr.Sym)
-				}
-			case "reduction":
-				lp.Reductions = append(lp.Reductions, exec.ReductionPlan{Sym: vr.Sym, Op: vr.RedOp})
-			case "index":
-				if vr.Sym != li.Region.Loop.Index {
-					lp.Private = append(lp.Private, vr.Sym)
-				}
-			}
-		}
-		plan.Loops[li.Region.Loop] = lp
+		plan.Loops[li.Region.Loop] = LowerLoop(li, opt)
 	}
 	return plan
+}
+
+// LowerLoop lowers one loop's dependence verdict to a runtime loop plan:
+// the variable classification becomes private/finalize/reduction lists and
+// the options become the dispatch policy. The loop need not be Chosen —
+// the tuner lowers proven-parallelizable inner loops when an interchange
+// variant parallelizes a deeper nest level.
+func LowerLoop(li *LoopInfo, opt PlanOptions) *exec.LoopPlan {
+	lp := &exec.LoopPlan{Schedule: opt.Schedule, Staggered: opt.Staggered, Chunks: opt.Chunks}
+	for _, vr := range li.Dep.Vars {
+		switch vr.Class.String() {
+		case "private":
+			lp.Private = append(lp.Private, vr.Sym)
+			if vr.NeedsFinalization {
+				lp.Finalize = append(lp.Finalize, vr.Sym)
+			}
+		case "reduction":
+			lp.Reductions = append(lp.Reductions, exec.ReductionPlan{Sym: vr.Sym, Op: vr.RedOp})
+		case "index":
+			if vr.Sym != li.Region.Loop.Index {
+				lp.Private = append(lp.Private, vr.Sym)
+			}
+		}
+	}
+	return lp
+}
+
+// LoopAtDepth walks a chosen nest's unambiguous chain of singly-nested
+// loops and returns the loop d levels inside li (li itself at d == 0). It
+// returns nil when the chain ends early — a level with zero or several
+// sibling loops stops the walk, since "the loop at depth d" is no longer
+// well defined there.
+func LoopAtDepth(res *Result, li *LoopInfo, d int) *LoopInfo {
+	cur := li
+	for step := 0; step < d; step++ {
+		var inner *region.Region
+		for _, c := range cur.Region.Body().Children {
+			if c.Kind != region.LoopRegion {
+				continue
+			}
+			if inner != nil {
+				return nil // ambiguous: two sibling loops at this level
+			}
+			inner = c
+		}
+		if inner == nil {
+			return nil
+		}
+		cur = res.Loops[inner]
+		if cur == nil {
+			return nil
+		}
+	}
+	return cur
+}
+
+// InterchangeDepths returns the nest depths at which li's loop nest may
+// legally be parallelized instead of at its outermost level: depth 0 (the
+// chosen loop itself) is always legal; depth d > 0 is legal when the d-th
+// singly-nested inner loop's own dependence verdict is parallelizable —
+// running it parallel with the outer levels sequential is exactly the plan
+// the parallelizer would have chosen had the outer loop been rejected, so
+// no new legality argument is needed. This is the tuner's interchange
+// knob: it moves the partitioned dimension inward, trading spawn overhead
+// for a different balance profile.
+func InterchangeDepths(res *Result, li *LoopInfo, maxDepth int) []int {
+	depths := []int{0}
+	for d := 1; d <= maxDepth; d++ {
+		inner := LoopAtDepth(res, li, d)
+		if inner == nil || !inner.Dep.Parallelizable {
+			break
+		}
+		depths = append(depths, d)
+	}
+	return depths
 }

@@ -16,6 +16,7 @@ import (
 	"suifx/internal/parallel"
 	"suifx/internal/session"
 	"suifx/internal/slice"
+	"suifx/internal/tune"
 	"suifx/internal/workloads"
 )
 
@@ -427,7 +428,10 @@ type StatsResponse struct {
 	ExecMode string        `json:"exec_mode"`
 	// Sessions reports the interactive session subsystem: live/created/
 	// evicted counts plus the aggregate incremental re-analysis split.
-	Sessions  session.Stats            `json:"sessions"`
+	Sessions session.Stats `json:"sessions"`
+	// Tune reports the auto-tuning search counters: searches, plan runs,
+	// variants scored/pruned, budget exhaustions and cancellations.
+	Tune      tune.Counters            `json:"tune"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
 
@@ -442,6 +446,7 @@ func (s *Server) statsSnapshot() *StatsResponse {
 		UptimeSec:     time.Since(s.start).Seconds(),
 		Exec:          exec.ReadCounters(),
 		ExecMode:      s.cfg.ExecMode.String(),
+		Tune:          tune.ReadCounters(),
 		Endpoints:     s.m.endpoints(),
 	}
 }

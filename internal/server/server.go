@@ -112,7 +112,7 @@ func New(cfg Config) *Server {
 			Workers:     cfg.Workers,
 		}),
 		sem: make(chan struct{}, cfg.MaxConcurrent),
-		m: newMetrics("analyze", "slice", "profile", "stats",
+		m: newMetrics("analyze", "slice", "profile", "tune", "stats",
 			"session_create", "session_get", "session_delete", "session_guru",
 			"session_assert", "session_slice", "session_why", "session_events"),
 		mux:   http.NewServeMux(),
@@ -121,6 +121,7 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/analyze", s.endpoint("analyze", true, s.handleAnalyze))
 	s.mux.Handle("POST /v1/slice", s.endpoint("slice", true, s.handleSlice))
 	s.mux.Handle("POST /v1/profile", s.endpoint("profile", true, s.handleProfile))
+	s.mux.Handle("POST /v1/tune", s.endpoint("tune", true, s.handleTune))
 	s.mux.Handle("GET /v1/stats", s.endpoint("stats", false, s.handleStats))
 	s.mux.Handle("POST /v1/session", s.endpoint("session_create", true, s.handleSessionCreate))
 	s.mux.Handle("GET /v1/session/{id}", s.endpoint("session_get", false, s.handleSessionGet))

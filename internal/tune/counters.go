@@ -1,0 +1,48 @@
+package tune
+
+import "sync/atomic"
+
+// counters aggregates package-wide search telemetry for /v1/stats.
+var counters struct {
+	searches  atomic.Int64
+	runs      atomic.Int64
+	scored    atomic.Int64
+	pruned    atomic.Int64
+	exhausted atomic.Int64
+	cancelled atomic.Int64
+	failed    atomic.Int64
+	invalid   atomic.Int64
+}
+
+// Counters is a snapshot of the package counters.
+type Counters struct {
+	// Searches counts Search calls that passed config validation.
+	Searches int64 `json:"searches"`
+	// Runs counts VM executions (baselines + variant plans).
+	Runs int64 `json:"runs"`
+	// Scored and Pruned count enumerated variants by fate.
+	Scored int64 `json:"variants_scored"`
+	Pruned int64 `json:"variants_pruned"`
+	// Exhausted counts searches cut short by the run budget.
+	Exhausted int64 `json:"budget_exhausted"`
+	// Cancelled counts searches abandoned via context.
+	Cancelled int64 `json:"cancelled"`
+	// Failed counts searches aborted by an engine error.
+	Failed int64 `json:"failed"`
+	// Invalid counts configs rejected by validation.
+	Invalid int64 `json:"invalid_configs"`
+}
+
+// ReadCounters returns a point-in-time snapshot.
+func ReadCounters() Counters {
+	return Counters{
+		Searches:  counters.searches.Load(),
+		Runs:      counters.runs.Load(),
+		Scored:    counters.scored.Load(),
+		Pruned:    counters.pruned.Load(),
+		Exhausted: counters.exhausted.Load(),
+		Cancelled: counters.cancelled.Load(),
+		Failed:    counters.failed.Load(),
+		Invalid:   counters.invalid.Load(),
+	}
+}

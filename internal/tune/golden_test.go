@@ -1,0 +1,79 @@
+// Golden tune-report snapshots. Because a search over a fixed (program,
+// config) is byte-deterministic — virtual-time scores, canonical enumeration
+// order, no timestamps — the full JSON report can be pinned verbatim. Any
+// change to the scoring model, the pruning rules, or the report shape shows
+// up as a readable diff here; refresh intentionally with
+//
+//	go test ./internal/tune -run TestGolden -update
+package tune_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"suifx/internal/corpus"
+	"suifx/internal/experiments"
+	"suifx/internal/tune"
+)
+
+var update = flag.Bool("update", false, "rewrite golden tune reports")
+
+// checkGolden compares the report's indented JSON against testdata/<name>,
+// rewriting it under -update.
+func checkGolden(t *testing.T, name string, rep *tune.Report) {
+	t.Helper()
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("report differs from %s (rerun with -update if the change is intended)\ngot:\n%s", path, got)
+	}
+}
+
+// TestGoldenWorkloadReports pins the full audit trail for the Chapter 4
+// flagship and one Nanz kernel.
+func TestGoldenWorkloadReports(t *testing.T) {
+	for _, app := range []string{"mdg", "chain"} {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			rep, _, err := experiments.TuneApp(context.Background(), app, tune.Config{MaxDepth: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, "tune_"+app+".golden.json", rep)
+		})
+	}
+}
+
+// TestGoldenCorpusReport pins a corpus-seeded search: the 1k scale tier
+// regenerates bit-for-bit from its recorded (seed, config), so its tune
+// report is as stable as the hand-written workloads'.
+func TestGoldenCorpusReport(t *testing.T) {
+	tier, ok := corpus.TierByName("1k")
+	if !ok {
+		t.Fatal("no 1k corpus tier")
+	}
+	rep, _ := corpusSearch(t, tier, corpusTuneCfg())
+	checkGolden(t, "tune_corpus_1k.golden.json", rep)
+}

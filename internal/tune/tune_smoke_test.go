@@ -1,0 +1,40 @@
+package tune_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"suifx/internal/experiments"
+	"suifx/internal/tune"
+)
+
+// TestSearchSmoke pins the basic shape of an mdg search: every nest gets a
+// default and a chosen score, the chosen never models slower than the
+// default, and the audit trail accounts for the whole enumerated space.
+func TestSearchSmoke(t *testing.T) {
+	rep, _, err := experiments.TuneApp(context.Background(), "mdg", tune.Config{})
+	if err != nil {
+		t.Fatalf("TuneApp: %v", err)
+	}
+	if len(rep.Loops) == 0 {
+		t.Fatal("no tuned loops")
+	}
+	if rep.Runs == 0 || rep.Searched == 0 {
+		t.Fatalf("empty search: runs=%d searched=%d", rep.Runs, rep.Searched)
+	}
+	b, _ := json.MarshalIndent(rep, "", "  ")
+	t.Logf("report:\n%s", b)
+	for _, lr := range rep.Loops {
+		if lr.Speedup < 1 {
+			t.Errorf("loop %s: speedup %.3f < 1", lr.ID, lr.Speedup)
+		}
+		enumerated := len(lr.Searched) + lr.Pruned
+		if enumerated == 0 {
+			t.Errorf("loop %s: empty audit trail", lr.ID)
+		}
+	}
+	if rep.Speedup < 1 {
+		t.Errorf("program speedup %.3f < 1", rep.Speedup)
+	}
+}
