@@ -232,7 +232,7 @@ func BenchmarkInterpretMdg(b *testing.B) {
 // creates a fresh interpreter and runs it end to end. instrumented attaches
 // the profiler and the dynamic dependence analyzer, the configuration the
 // compile-then-run redesign targets.
-func benchEngine(b *testing.B, mode exec.ExecMode, instrumented bool) {
+func benchEngine(b *testing.B, mode exec.ExecMode, instrumented bool, sampleEvery int64) {
 	prog := workloads.ByName("mdg").Program()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -241,7 +241,11 @@ func benchEngine(b *testing.B, mode exec.ExecMode, instrumented bool) {
 		in.Mode = mode
 		if instrumented {
 			exec.NewProfiler(in)
-			exec.NewDynDep(in)
+			d := exec.NewDynDep(in)
+			d.SampleEvery = sampleEvery
+			if sampleEvery > 1 {
+				d.SampleWarm = 2
+			}
 		}
 		if err := in.Run(); err != nil {
 			b.Fatal(err)
@@ -249,10 +253,21 @@ func benchEngine(b *testing.B, mode exec.ExecMode, instrumented bool) {
 	}
 }
 
-func BenchmarkInterpTreeDDA(b *testing.B)       { benchEngine(b, exec.ModeTree, true) }
-func BenchmarkInterpBytecodeDDA(b *testing.B)   { benchEngine(b, exec.ModeBytecode, true) }
-func BenchmarkInterpTreePlain(b *testing.B)     { benchEngine(b, exec.ModeTree, false) }
-func BenchmarkInterpBytecodePlain(b *testing.B) { benchEngine(b, exec.ModeBytecode, false) }
+func BenchmarkInterpTreeDDA(b *testing.B)       { benchEngine(b, exec.ModeTree, true, 0) }
+func BenchmarkInterpBytecodeDDA(b *testing.B)   { benchEngine(b, exec.ModeBytecode, true, 0) }
+func BenchmarkInterpTieredDDA(b *testing.B)     { benchEngine(b, exec.ModeTiered, true, 0) }
+func BenchmarkInterpTreePlain(b *testing.B)     { benchEngine(b, exec.ModeTree, false, 0) }
+func BenchmarkInterpBytecodePlain(b *testing.B) { benchEngine(b, exec.ModeBytecode, false, 0) }
+func BenchmarkInterpTieredPlain(b *testing.B)   { benchEngine(b, exec.ModeTiered, false, 0) }
+
+// The §2.5.2 iteration-sampled DDA configuration (SampleEvery=10, two warm
+// iterations): the production setting for long-running instrumented runs,
+// and the one where the specializing tier's instrumentation strip applies —
+// unsampled iterations dispatch the checkless alt body instead of paying
+// per-access analyzer callbacks.
+func BenchmarkInterpTreeSampledDDA(b *testing.B)     { benchEngine(b, exec.ModeTree, true, 10) }
+func BenchmarkInterpBytecodeSampledDDA(b *testing.B) { benchEngine(b, exec.ModeBytecode, true, 10) }
+func BenchmarkInterpTieredSampledDDA(b *testing.B)   { benchEngine(b, exec.ModeTiered, true, 10) }
 
 // ---- Ablations (DESIGN.md) ----
 

@@ -146,23 +146,34 @@ func derive(rep *Report) {
 	for _, b := range rep.Benchmarks {
 		byName[b.Name] = b
 	}
-	pairs := [][2]string{
-		{"InterpTreeDDA", "InterpBytecodeDDA"},
-		{"InterpTreePlain", "InterpBytecodePlain"},
+	// Engine-tier ratios (BENCH_exec.json v2): numerator ns/op over
+	// denominator ns/op under the given key, so every tier's win over the
+	// tier below it is recorded explicitly. The sampled-DDA row is the
+	// headline specialization metric: the §2.5.2 iteration-sampled
+	// instrumented run is where the tiered engine's strip dispatch applies.
+	ratios := []struct {
+		num, den, nsKey, allocKey string
+	}{
+		{"InterpTreeDDA", "InterpBytecodeDDA", "dda_ns_ratio", "dda_alloc_ratio"},
+		{"InterpTreePlain", "InterpBytecodePlain", "plain_ns_ratio", "plain_alloc_ratio"},
+		{"InterpTreeSampledDDA", "InterpBytecodeSampledDDA", "sampled_dda_ns_ratio", ""},
+		{"InterpBytecodeDDA", "InterpTieredDDA", "tiered_dda_vs_bytecode", ""},
+		{"InterpBytecodePlain", "InterpTieredPlain", "tiered_plain_vs_bytecode", ""},
+		{"InterpBytecodeSampledDDA", "InterpTieredSampledDDA", "tiered_sampled_dda_vs_bytecode", ""},
+		{"InterpTreeDDA", "InterpTieredDDA", "tiered_dda_vs_tree", ""},
 	}
-	for _, p := range pairs {
-		tree, okT := byName[p[0]]
-		bc, okB := byName[p[1]]
-		if !okT || !okB || bc.NsPerOp == 0 {
+	for _, r := range ratios {
+		num, okN := byName[r.num]
+		den, okD := byName[r.den]
+		if !okN || !okD || den.NsPerOp == 0 {
 			continue
 		}
-		key := strings.ToLower(strings.TrimPrefix(p[1], "InterpBytecode"))
 		if rep.Derived == nil {
 			rep.Derived = map[string]float64{}
 		}
-		rep.Derived[key+"_ns_ratio"] = round2(tree.NsPerOp / bc.NsPerOp)
-		if bc.AllocsPerOp > 0 {
-			rep.Derived[key+"_alloc_ratio"] = round2(float64(tree.AllocsPerOp) / float64(bc.AllocsPerOp))
+		rep.Derived[r.nsKey] = round2(num.NsPerOp / den.NsPerOp)
+		if r.allocKey != "" && den.AllocsPerOp > 0 {
+			rep.Derived[r.allocKey] = round2(float64(num.AllocsPerOp) / float64(den.AllocsPerOp))
 		}
 	}
 	// ParallelEngine/<app>/<N>w sub-benchmarks (BENCH_parallel.json): copy

@@ -27,7 +27,8 @@
 //
 //	suifxd [-addr host:port] [-timeout 30s] [-max-concurrent 32]
 //	       [-max-body 1048576] [-cache-cap 128] [-workers n]
-//	       [-exec-mode auto|bytecode|tree]
+//	       [-exec-mode auto|bytecode|tiered|tree]
+//	       [-exec-tier tree|bytecode|tiered]
 //	       [-max-sessions 64] [-session-ttl 15m] [-session-sweep 30s]
 //
 // SIGINT/SIGTERM shut the server down gracefully: the listener closes,
@@ -55,7 +56,8 @@ func main() {
 	maxBody := flag.Int64("max-body", 1<<20, "max request body bytes (larger gets 413)")
 	cacheCap := flag.Int("cache-cap", driver.DefaultCacheCapacity, "summary cache capacity (LRU entries)")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
-	execMode := flag.String("exec-mode", "auto", "default /v1/profile execution engine (auto, bytecode or tree)")
+	execMode := flag.String("exec-mode", "auto", "default /v1/profile execution engine (auto, bytecode, tiered or tree)")
+	execTier := flag.String("exec-tier", "", "pin the default engine to a concrete tier (tree, bytecode or tiered); overrides -exec-mode")
 	maxSessions := flag.Int("max-sessions", 64, "max live interactive sessions (older sessions evicted LRU)")
 	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle time before a session is evicted")
 	sessionSweep := flag.Duration("session-sweep", 30*time.Second, "session eviction janitor period")
@@ -68,6 +70,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "suifxd:", err)
 		os.Exit(2)
+	}
+	if *execTier != "" {
+		mode, err = exec.ParseTier(*execTier)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "suifxd:", err)
+			os.Exit(2)
+		}
 	}
 
 	cache := driver.Shared()

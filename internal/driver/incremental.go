@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"suifx/internal/exec"
 	"suifx/internal/ir"
 	"suifx/internal/modref"
 	"suifx/internal/summary"
@@ -120,6 +121,7 @@ func (inc *Incremental) InvalidateAll() {
 	for _, p := range inc.prog.Procs {
 		inc.dirty[p.Name] = true
 	}
+	exec.InvalidateProgram(inc.prog)
 }
 
 // Invalidate dirties each named procedure's SCC plus every component that
@@ -146,6 +148,12 @@ func (inc *Incremental) Invalidate(procs ...string) int {
 				queue = append(queue, caller)
 			}
 		}
+	}
+	if len(seen) > 0 {
+		// Anything that can change a summary can change what the tiered
+		// engine specialized against; drop the compiled-code cache so the
+		// next execution re-lowers (and re-fuses) from current state.
+		exec.InvalidateProgram(inc.prog)
 	}
 	return len(inc.dirty)
 }

@@ -138,6 +138,124 @@ const (
 
 	opWrite // a = argc; pop argc values, Fprintln
 	opErr   // fail with errs[a]
+
+	// ------------------------------------------------------------------
+	// Tiered execution (fuse.go, DESIGN.md "Tiered execution"). Everything
+	// below is only ever emitted into the tiered instruction streams; the
+	// baseline bytecode variants never contain these opcodes.
+
+	// Fused superinstructions: semantics-preserving peephole combinations
+	// of the pairs/triples that dominate dynamic traces (FusionCensus).
+	// Ticks of the fused window are summed onto the fused instruction, so
+	// virtual-time totals at loop events are unchanged, and bounds/divide
+	// checks keep their source-line attribution through the idx table.
+	opLGIdx    // opLoadG+opIdx: a=var addr, b=idx id; push offset
+	opLPIdx    // opLoadP+opIdx: a=param slot, b=idx id
+	opLGIdxAdd // opLoadG+opIdxAdd
+	opLPIdxAdd // opLoadP+opIdxAdd
+	// Full 1-D element access in one dispatch: a=index var addr, b=idx id;
+	// idx[b].base holds the array base folded with -lo*stride (global) or
+	// the -lo*stride fold alone with idx[b].pslot = array param slot.
+	opLGIdxLoadGE
+	opLGIdxLoadPE
+	opLGIdxStoreGE
+	opLGIdxStorePE
+	// Final-dimension access: a=array base (or param slot), b=idx id; the
+	// accumulated offset stays on the stack (multi-dim arrays).
+	opIdxAddLoadGE
+	opIdxAddLoadPE
+	opIdxAddStoreGE
+	opIdxAddStorePE
+	opConstAddStoreG // opConst+opAdd+opStoreG: mem[a] = pop + f
+	// Compare-and-branch: pops two operands, jumps to a when the
+	// comparison is FALSE (the opJZ half of the fused pair).
+	opJEQ
+	opJNE
+	opJLT
+	opJLE
+	opJGT
+	opJGE
+	opLLAdd // opLoadG+opLoadG+arith: push mem[a] OP mem[b]
+	opLLSub
+	opLLMul
+	opLCAdd // opLoadG+opConst+arith: push mem[a] OP f
+	opLCSub
+	opLCMul
+
+	// Instrumented twins of the fused forms (DDA streams). The window is
+	// only fused when every instruction maps to the same source statement,
+	// so the per-pc Skip decision applies to the whole fused access.
+	opLGIdxI
+	opLPIdxI
+	opLGIdxAddI
+	opLPIdxAddI
+	opLGIdxLoadGEI
+	opLGIdxLoadPEI
+	opLGIdxStoreGEI
+	opLGIdxStorePEI
+	opIdxAddLoadGEI
+	opIdxAddLoadPEI
+	opIdxAddStoreGEI
+	opIdxAddStorePEI
+	opConstAddStoreGI
+	opLLAddI
+	opLLSubI
+	opLLMulI
+	opLCAddI
+	opLCSubI
+	opLCMulI
+
+	// Specialized (checkless) 1-D accesses, emitted only into a loop's
+	// alternate body: the preflight range check at arm time (vm.go
+	// specPreflight) proves every index in bounds, so the per-access check
+	// is dropped and the loop-invariant part of the address computation
+	// (base - lo*stride) is folded into idx[b].base. a=index var addr,
+	// b=idx id.
+	opSpecLoadG
+	opSpecStoreG
+	opSpecLoadP // array bound to a param slot: idx[b].pslot
+	opSpecStoreP
+
+	// Second-order fusions: the fusion pass runs to fixpoint, so pairs
+	// whose head is itself a round-one fused op collapse further. These are
+	// the chains the census shows dominating real traces once the
+	// first-round set is applied (param-indexed element accesses, element
+	// load feeding arithmetic, load-scale-accumulate).
+	opLPIdxLoadGE  // opLPIdx+opLoadGE: a=index param slot, b=idx id (base folded)
+	opLPIdxLoadPE  // element via idx[b].pslot
+	opLPIdxStoreGE // opLPIdx+opStoreGE
+	opLPIdxStorePE
+	opLoadGEAdd // opLoadGE+arith: ..., x, off -> ..., x OP mem[a+off]
+	opLoadGESub
+	opLoadGEMul
+	opLCMulAdd    // opLCMul+opAdd: stack top += mem[a]*f
+	opLPJGT       // opLoadP+opJGT: pop x, fall through iff x > mem[params[b]]
+	opLPJLE       // opLoadP+opJLE: pop x, fall through iff x <= mem[params[b]]
+	opLCIdx       // opLCAdd+opIdx: push checked offset of index mem[a]+f in idx[b]
+	opLCAddStoreG // opLCAdd+opStoreG: mem[b] = mem[a] + f, no stack traffic
+
+	// Instrumented twins of the second-order fusions (contiguous block —
+	// isAccessOp depends on the range).
+	opLPIdxLoadGEI
+	opLPIdxLoadPEI
+	opLPIdxStoreGEI
+	opLPIdxStorePEI
+	opLoadGEAddI
+	opLoadGESubI
+	opLoadGEMulI
+	opLCMulAddI
+	opLPJGTI
+	opLPJLEI
+	opLCIdxI
+	opLCAddStoreGI
+
+	// Fused loop back-edge: opLoopNext whose target is an opLoopHead. One
+	// dispatch advances the induction state and replays the head (index
+	// write-back, trip test, iteration event, alt-body dispatch). a=head pc
+	// (body entry is a+1), b=the head's exit target.
+	opLoopNextHead
+
+	opcodeCount // sentinel: number of opcodes (name table, census)
 )
 
 // instr is one 24-byte instruction. tick is the amount of virtual time
@@ -152,12 +270,17 @@ type instr struct {
 	f    float64
 }
 
-// idxData is the per-dimension metadata for opIdx/opIdxAdd.
+// idxData is the per-dimension metadata for opIdx/opIdxAdd. The fused
+// full-access and specialized opcodes extend it with a precomputed base
+// (the array base folded with -lo*stride) and, for param-bound arrays, the
+// parameter slot the base resolves through.
 type idxData struct {
 	lo, hi, stride int64
 	line           int32
 	dim            int32
 	name           string // array name, for the bounds error message
+	base           int64  // fused/spec: array base - lo*stride (or just -lo*stride with pslot)
+	pslot          int32  // fused/spec: array param slot (with base = -lo*stride)
 }
 
 // loopMeta is the static description of one lowered DO loop.
@@ -167,6 +290,12 @@ type loopMeta struct {
 	line     int32
 	idxParam bool  // index variable storage: parameter slot vs absolute
 	idxOp    int32 // param slot or absolute address
+	// Tiered streams only: altEntry is the pc of the loop's specialized
+	// alternate body (-1 = none), guards the idx-table entries whose ranges
+	// the arm-time preflight must prove in bounds before the checkless body
+	// may run.
+	altEntry int32
+	guards   []int32
 }
 
 // argKind distinguishes how a call argument slot binds.
@@ -195,6 +324,7 @@ type code struct {
 	entry        int32 // pc of the main program
 	maxStack     int   // eval-stack high-water mark (statically known)
 	instrumented bool
+	tiered       bool // superinstruction-fused stream with alt loop bodies
 }
 
 // lowered is the per-program compilation cache plus pooled run state. It is
@@ -203,8 +333,10 @@ type code struct {
 type lowered struct {
 	lay *layout
 
-	mu       sync.Mutex
-	variants [2]*code // [0] plain, [1] DDA-instrumented
+	mu sync.Mutex
+	// variants[instrumented + 2*tiered]: plain, DDA-instrumented, and the
+	// two tiered (fused + specializable) twins of each.
+	variants [4]*code
 
 	vmPool     sync.Pool // *vmScratch
 	shadowPool sync.Pool // *ddaShadow
@@ -222,17 +354,35 @@ func loweredOf(prog *ir.Program) *lowered {
 	return prog.ExecCache.Load().(*lowered)
 }
 
+// InvalidateProgram drops prog's compiled-code cache so the next run
+// recompiles every variant from the current IR. driver.Incremental calls
+// this when an invalidation dirties the program: specialized and fused
+// tiered code must not be served stale across analysis runs. In-flight
+// interpreters keep executing the code they already resolved; only new
+// runs see the fresh cache.
+func InvalidateProgram(prog *ir.Program) {
+	prog.ExecCache.Store(&lowered{lay: newLayout(prog)})
+}
+
 // codeFor returns the plain or instrumented instruction stream, compiling
-// it on first use.
-func (low *lowered) codeFor(prog *ir.Program, instrumented bool) *code {
+// it on first use. Tiered variants additionally lower specializable loop
+// bodies twice (generic + alt) and run the superinstruction fusion pass.
+func (low *lowered) codeFor(prog *ir.Program, instrumented, tiered bool) *code {
 	i := 0
 	if instrumented {
 		i = 1
 	}
+	if tiered {
+		i += 2
+	}
 	low.mu.Lock()
 	defer low.mu.Unlock()
 	if low.variants[i] == nil {
-		low.variants[i] = compileProgram(prog, low.lay, instrumented)
+		cd := compileProgram(prog, low.lay, instrumented, tiered)
+		if tiered {
+			cd = fuseCode(cd)
+		}
+		low.variants[i] = cd
 		counters.compiledProcs.Add(int64(len(prog.Procs)))
 		counters.compiledPrograms.Add(1)
 	}
@@ -256,6 +406,15 @@ var counters struct {
 	fallbackMode      atomic.Int64
 	fallbackHooks     atomic.Int64
 	fallbackAnalyzers atomic.Int64
+
+	// Tiered engine: runs dispatched to the fused variant, instructions
+	// eliminated by fusion at compile time, loop activations that armed a
+	// specialized alt body, and loop iterations executed on a stripped
+	// (uninstrumented) alt body while DDA sampling was off.
+	tieredRuns        atomic.Int64
+	fusedInstructions atomic.Int64
+	specInvocations   atomic.Int64
+	stripIterations   atomic.Int64
 }
 
 // Counters is a snapshot of the execution engine's global counters.
@@ -277,6 +436,14 @@ type Counters struct {
 	FallbackMode      int64 `json:"fallbacks_mode"`
 	FallbackHooks     int64 `json:"fallbacks_hooks"`
 	FallbackAnalyzers int64 `json:"fallbacks_analyzers"`
+
+	// Tiered engine: fused-variant runs, instructions removed by the
+	// superinstruction pass, specialized-loop activations, and iterations
+	// executed on a stripped alt body.
+	TieredRuns        int64 `json:"tiered_runs"`
+	FusedInstructions int64 `json:"fused_instructions"`
+	SpecInvocations   int64 `json:"spec_invocations"`
+	StripIterations   int64 `json:"strip_iterations"`
 }
 
 // ReadCounters returns the current engine counters.
@@ -293,5 +460,9 @@ func ReadCounters() Counters {
 		FallbackMode:      counters.fallbackMode.Load(),
 		FallbackHooks:     counters.fallbackHooks.Load(),
 		FallbackAnalyzers: counters.fallbackAnalyzers.Load(),
+		TieredRuns:        counters.tieredRuns.Load(),
+		FusedInstructions: counters.fusedInstructions.Load(),
+		SpecInvocations:   counters.specInvocations.Load(),
+		StripIterations:   counters.stripIterations.Load(),
 	}
 }

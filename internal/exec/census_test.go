@@ -1,0 +1,52 @@
+package exec_test
+
+import (
+	"testing"
+
+	"suifx/internal/exec"
+	"suifx/internal/workloads"
+)
+
+// TestFusionCensusPatterns re-runs the measurement that chose the fused
+// opcode set: the dynamic pair/triple census over every workload. The
+// patterns the fusion pass targets must actually dominate real traces —
+// if a workload change makes them vanish, the superinstruction set needs
+// re-deriving.
+func TestFusionCensusPatterns(t *testing.T) {
+	total := map[string]int64{}
+	for _, w := range workloads.All() {
+		pats, err := exec.FusionCensus(w.Fresh(), nil)
+		if err != nil {
+			t.Fatalf("%s: census run failed: %v", w.Name, err)
+		}
+		if len(pats) == 0 {
+			t.Fatalf("%s: empty census", w.Name)
+		}
+		for _, p := range pats {
+			total[p.Pattern] += p.Count
+		}
+	}
+
+	// The load-index pair and the index+element-access pairs are the bread
+	// and butter of array code; compare+branch closes every IF. All must
+	// show up hot across the suite.
+	for _, want := range []string{
+		"opLoadG+opIdx",
+		"opIdxAdd+opLoadGE",
+		"opIdxAdd+opStoreGE",
+	} {
+		if total[want] <= 0 {
+			t.Errorf("pattern %s absent from workload census", want)
+		}
+	}
+	var cmpJZ int64
+	for _, cmp := range []string{"opEQ", "opNE", "opLT", "opLE", "opGT", "opGE"} {
+		cmpJZ += total[cmp+"+opJZ"]
+	}
+	if cmpJZ <= 0 {
+		t.Error("no compare+opJZ pairs in workload census")
+	}
+	if total["opLoadG+opIdx+opLoadGE"] <= 0 {
+		t.Error("full load-index-element triple absent from workload census")
+	}
+}

@@ -1,0 +1,43 @@
+package exec_test
+
+import (
+	"sort"
+	"testing"
+
+	"suifx/internal/exec"
+	"suifx/internal/workloads"
+)
+
+// TestDumpInstrumentedCensus is a development aid: -run it with -v to see
+// the dynamic opcode pair frequencies left in the fused streams of the
+// flagship workload.
+func TestDumpInstrumentedCensus(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("dump only under -v")
+	}
+	for _, instrumented := range []bool{true, false} {
+		pairs, singles, err := exec.FusedPairCensusForTest(workloads.ByName("mdg").Fresh(), instrumented)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type pc2 struct {
+			pat string
+			n   int64
+		}
+		dump := func(tag string, m map[string]int64) {
+			var out []pc2
+			for p, n := range m {
+				out = append(out, pc2{p, n})
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i].n > out[j].n })
+			for i, p := range out {
+				if i >= 20 {
+					break
+				}
+				t.Logf("instr=%v %s %-44s %12d", instrumented, tag, p.pat, p.n)
+			}
+		}
+		dump("pair", pairs)
+		dump("op  ", singles)
+	}
+}

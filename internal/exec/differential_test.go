@@ -93,10 +93,23 @@ func runEngine(t *testing.T, name, src string, mode exec.ExecMode, cfg runConfig
 // compareOps is skipped for failed runs: within the failing statement the
 // engines may attribute the final partial ticks differently (op totals are
 // only defined at statement/loop boundaries).
+//
+// Budget relaxation: the VM checks the operation budget at basic-block
+// boundaries rather than per instruction, so on a pure budget-exceeded
+// error it may run unobserved arena stores a few instructions further than
+// the tree-walker before faulting. Error text (including the budget value)
+// and printed output must still match exactly; arena/profile/DDA state are
+// not compared on those runs.
 func compareRuns(t *testing.T, label string, tree, bc runResult) {
 	t.Helper()
 	if tree.err != bc.err {
 		t.Fatalf("%s: error mismatch:\n tree: %q\n  vm:  %q", label, tree.err, bc.err)
+	}
+	if strings.Contains(tree.err, "operation budget exceeded") {
+		if tree.output != bc.output {
+			t.Errorf("%s: output mismatch on budget error:\n tree: %q\n  vm:  %q", label, tree.output, bc.output)
+		}
+		return
 	}
 	if tree.err == "" && tree.ops != bc.ops {
 		t.Errorf("%s: ops mismatch: tree %d vs vm %d", label, tree.ops, bc.ops)
@@ -131,11 +144,16 @@ func compareRuns(t *testing.T, label string, tree, bc runResult) {
 	}
 }
 
+// diffBoth is a three-way differential: the tree-walker is the reference,
+// and both the baseline bytecode VM and the tiered VM (fusion +
+// specialization) must match it on every observable.
 func diffBoth(t *testing.T, label, name, src string, cfg runConfig) {
 	t.Helper()
 	tree := runEngine(t, name, src, exec.ModeTree, cfg)
 	bc := runEngine(t, name, src, exec.ModeBytecode, cfg)
-	compareRuns(t, label, tree, bc)
+	compareRuns(t, label+"/vm", tree, bc)
+	td := runEngine(t, name, src, exec.ModeTiered, cfg)
+	compareRuns(t, label+"/tiered", tree, td)
 }
 
 // TestDifferentialWorkloads runs every benchmark workload through both
@@ -232,11 +250,13 @@ func TestDifferentialErrors(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := runConfig{profile: true, instrument: true, maxOps: tc.maxOps}
 			tree := runEngine(t, tc.name, tc.src, exec.ModeTree, cfg)
-			bc := runEngine(t, tc.name, tc.src, exec.ModeBytecode, cfg)
 			if !strings.Contains(tree.err, tc.wantErr) {
 				t.Fatalf("tree error %q does not contain %q", tree.err, tc.wantErr)
 			}
-			compareRuns(t, tc.name, tree, bc)
+			bc := runEngine(t, tc.name, tc.src, exec.ModeBytecode, cfg)
+			compareRuns(t, tc.name+"/vm", tree, bc)
+			td := runEngine(t, tc.name, tc.src, exec.ModeTiered, cfg)
+			compareRuns(t, tc.name+"/tiered", tree, td)
 		})
 	}
 }
@@ -267,11 +287,13 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 			cfg.sampleWarm = 3
 		}
 		tree := runEngine(t, name, src, exec.ModeTree, cfg)
-		bc := runEngine(t, name, src, exec.ModeBytecode, cfg)
 		if tree.err != "" {
 			t.Fatalf("seed %d: generated program failed on tree engine: %v\n%s", s, tree.err, src)
 		}
-		compareRuns(t, name, tree, bc)
+		bc := runEngine(t, name, src, exec.ModeBytecode, cfg)
+		compareRuns(t, name+"/vm", tree, bc)
+		td := runEngine(t, name, src, exec.ModeTiered, cfg)
+		compareRuns(t, name+"/tiered", tree, td)
 		if t.Failed() {
 			t.Fatalf("seed %d diverged; source:\n%s", s, src)
 		}
@@ -321,5 +343,9 @@ func TestReportOrderStability(t *testing.T) {
 	tree := runEngine(t, w.Name, w.Source, exec.ModeTree, cfg)
 	if tree.profiles != base.profiles || tree.deploops != base.deploops {
 		t.Fatalf("tree/vm report order differs:\n%s\nvs\n%s", tree.profiles, base.profiles)
+	}
+	tiered := runEngine(t, w.Name, w.Source, exec.ModeTiered, cfg)
+	if tiered.profiles != base.profiles || tiered.deploops != base.deploops {
+		t.Fatalf("tiered/vm report order differs:\n%s\nvs\n%s", tiered.profiles, base.profiles)
 	}
 }

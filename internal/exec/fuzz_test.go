@@ -1,0 +1,46 @@
+package exec_test
+
+// FuzzTieredDifferential drives arbitrary (parser-accepted) programs
+// through the tree-walker, the baseline bytecode VM, and the tiered VM, and
+// requires every observable to agree — the fuzz-shaped version of the
+// differential suite, seeded the same way as FuzzMiniFParser so CI mutates
+// from real program shapes.
+
+import (
+	"testing"
+
+	"suifx/internal/corpus"
+	"suifx/internal/exec"
+	"suifx/internal/minif"
+	"suifx/internal/workloads"
+)
+
+func FuzzTieredDifferential(f *testing.F) {
+	for _, w := range workloads.All() {
+		f.Add(w.Source)
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		f.Add(corpus.DiffProgram(seed))
+	}
+	f.Add("      PROGRAM T\n      REAL A(10)\n      INTEGER I\n      DO 10 I = 1, 10\n      A(I) = A(I) + 1.0\n   10 CONTINUE\n      END\n")
+	f.Add("      PROGRAM T\n      REAL X\n      X = 1.0 / 0.0\n      END\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if _, err := minif.Parse("fuzz.f", src); err != nil {
+			return
+		}
+		// Bound runtime: arbitrary accepted programs may loop for a long
+		// time. Budget errors are part of the differential contract (error
+		// text and output identical; arena relaxed — see compareRuns).
+		cfg := runConfig{profile: true, instrument: true, maxOps: 200000}
+		if len(src)%2 == 1 {
+			cfg.sampleEvery = 3
+			cfg.sampleWarm = 1
+		}
+		tree := runEngine(t, "fuzz.f", src, exec.ModeTree, cfg)
+		bc := runEngine(t, "fuzz.f", src, exec.ModeBytecode, cfg)
+		compareRuns(t, "fuzz/vm", tree, bc)
+		td := runEngine(t, "fuzz.f", src, exec.ModeTiered, cfg)
+		compareRuns(t, "fuzz/tiered", tree, td)
+	})
+}

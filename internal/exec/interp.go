@@ -30,10 +30,15 @@ const (
 	ModeBytecode
 	// ModeTree forces the original tree-walking interpreter.
 	ModeTree
+	// ModeTiered runs the superinstruction-fused bytecode variant with
+	// profile-guided loop specialization (alt bodies armed after an
+	// invocation threshold, bounds checks hoisted to a preflight, DDA
+	// instrumentation stripped on unsampled iterations).
+	ModeTiered
 )
 
 // ParseMode maps a user-facing engine name to an ExecMode. Accepts
-// "bytecode", "tree", "auto" and "" (auto).
+// "bytecode", "tree", "tiered", "auto" and "" (auto).
 func ParseMode(s string) (ExecMode, error) {
 	switch s {
 	case "", "auto":
@@ -42,8 +47,27 @@ func ParseMode(s string) (ExecMode, error) {
 		return ModeBytecode, nil
 	case "tree":
 		return ModeTree, nil
+	case "tiered":
+		return ModeTiered, nil
 	}
-	return ModeAuto, fmt.Errorf("exec: unknown mode %q (want auto, bytecode or tree)", s)
+	return ModeAuto, fmt.Errorf("exec: unknown mode %q (want auto, bytecode, tiered or tree)", s)
+}
+
+// ParseTier maps the user-facing `tier` knob to an ExecMode. Unlike
+// ParseMode it does not accept "auto" — a tier names a concrete engine —
+// but "" still means "no override".
+func ParseTier(s string) (ExecMode, error) {
+	switch s {
+	case "":
+		return ModeAuto, nil
+	case "tree":
+		return ModeTree, nil
+	case "bytecode":
+		return ModeBytecode, nil
+	case "tiered":
+		return ModeTiered, nil
+	}
+	return ModeAuto, fmt.Errorf("exec: unknown tier %q (want tree, bytecode or tiered)", s)
 }
 
 func (m ExecMode) String() string {
@@ -52,6 +76,8 @@ func (m ExecMode) String() string {
 		return "bytecode"
 	case ModeTree:
 		return "tree"
+	case ModeTiered:
+		return "tiered"
 	}
 	return "auto"
 }
@@ -110,6 +136,10 @@ type Interp struct {
 
 	// MaxOps aborts runaway executions (0 = unlimited).
 	MaxOps int64
+
+	// pcCount, when non-nil and sized to the compiled stream, receives
+	// per-pc dynamic execution counts (FusionCensus only).
+	pcCount []int64
 
 	// Parallel execution state (see parallel.go).
 	plan         *ParallelPlan
@@ -217,7 +247,7 @@ func (in *Interp) useBytecode() bool {
 	if mode == ModeAuto {
 		mode = DefaultMode
 	}
-	if mode != ModeBytecode {
+	if mode != ModeBytecode && mode != ModeTiered {
 		counters.fallbackMode.Add(1)
 		return false
 	}
@@ -281,9 +311,17 @@ func (in *Interp) runBytecode() error {
 			dyn = x
 		}
 	}
+	mode := in.Mode
+	if mode == ModeAuto {
+		mode = DefaultMode
+	}
+	tiered := mode == ModeTiered
 	low := loweredOf(in.Prog)
-	cd := low.codeFor(in.Prog, dyn != nil)
+	cd := low.codeFor(in.Prog, dyn != nil, tiered)
 	counters.bytecodeRuns.Add(1)
+	if tiered {
+		counters.tieredRuns.Add(1)
+	}
 
 	sc, _ := low.vmPool.Get().(*vmScratch)
 	if sc == nil {
@@ -306,6 +344,12 @@ func (in *Interp) runBytecode() error {
 	}
 	if v.maxOps <= 0 {
 		v.maxOps = math.MaxInt64
+	}
+	if tiered {
+		v.spec = sc.specInv
+	}
+	if in.pcCount != nil && len(in.pcCount) == len(cd.ins) {
+		v.pcCount = in.pcCount
 	}
 	if in.plan != nil {
 		v.par = in.ensurePlanRT(cd)

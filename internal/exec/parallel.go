@@ -510,6 +510,12 @@ func (in *Interp) ensurePlanRT(cd *code) *planRT {
 				}
 			}
 			view := compileLoopBody(in.Prog, cd.lay, proc, l, rebind, privCommon)
+			if cd.tiered {
+				// Tiered runs fuse worker views too (never instrumented, no
+				// alt bodies: specialization stays a sequential-loop tier).
+				view = fuseCode(view)
+				view.tiered = true
+			}
 			counters.compiledViews.Add(1)
 			lrt.views[w] = workerView{cd: view, idxAddr: rebind[l.Index], inits: inits}
 		}

@@ -129,7 +129,7 @@ func runPlanned(t *testing.T, mode ExecMode, workers int, staggered bool) *Inter
 // finalization let goroutines race for one mutex, so the floating-point
 // combine order — and the low bits of the result — varied run to run.)
 func TestParallelReductionDeterminism(t *testing.T) {
-	for _, mode := range []ExecMode{ModeTree, ModeBytecode} {
+	for _, mode := range []ExecMode{ModeTree, ModeBytecode, ModeTiered} {
 		for _, staggered := range []bool{false, true} {
 			var first []uint64
 			for run := 0; run < 20; run++ {
@@ -153,27 +153,29 @@ func TestParallelReductionDeterminism(t *testing.T) {
 	}
 }
 
-// TestParallelVMMatchesTree runs the planned reduction kernel on both
+// TestParallelVMMatchesTree runs the planned reduction kernel on all three
 // engines at several worker counts: the full arenas — worker banks
 // included — must be bit-identical, and the virtual clocks equal.
 func TestParallelVMMatchesTree(t *testing.T) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		for _, staggered := range []bool{false, true} {
 			tree := runPlanned(t, ModeTree, workers, staggered)
-			vm := runPlanned(t, ModeBytecode, workers, staggered)
-			if tree.Ops() != vm.Ops() {
-				t.Errorf("workers=%d staggered=%v: ops differ: tree %d vs bytecode %d",
-					workers, staggered, tree.Ops(), vm.Ops())
-			}
-			ta, va := tree.Arena(), vm.Arena()
-			if len(ta) != len(va) {
-				t.Fatalf("workers=%d: arena sizes differ: %d vs %d", workers, len(ta), len(va))
-			}
-			for i := range ta {
-				if math.Float64bits(ta[i]) != math.Float64bits(va[i]) {
-					t.Errorf("workers=%d staggered=%v: cell %d differs: %g vs %g",
-						workers, staggered, i, ta[i], va[i])
-					break
+			for _, mode := range []ExecMode{ModeBytecode, ModeTiered} {
+				vm := runPlanned(t, mode, workers, staggered)
+				if tree.Ops() != vm.Ops() {
+					t.Errorf("workers=%d staggered=%v mode=%v: ops differ: tree %d vs vm %d",
+						workers, staggered, mode, tree.Ops(), vm.Ops())
+				}
+				ta, va := tree.Arena(), vm.Arena()
+				if len(ta) != len(va) {
+					t.Fatalf("workers=%d: arena sizes differ: %d vs %d", workers, len(ta), len(va))
+				}
+				for i := range ta {
+					if math.Float64bits(ta[i]) != math.Float64bits(va[i]) {
+						t.Errorf("workers=%d staggered=%v mode=%v: cell %d differs: %g vs %g",
+							workers, staggered, mode, i, ta[i], va[i])
+						break
+					}
 				}
 			}
 		}

@@ -21,6 +21,7 @@ type frameRT struct {
 // loopAct is one live DO-loop activation.
 type loopAct struct {
 	li      int32
+	alt     int32 // pc of the armed specialized body for this activation (-1 = generic)
 	it      int64
 	trips   int64
 	v       float64 // current index value
@@ -39,6 +40,11 @@ type vmScratch struct {
 	profIters []int64
 	profOps   []int64
 	profStack []profFrame
+
+	// specInv counts per-loop invocations within one run for the tiered
+	// engine's specialization threshold. Per-run (reset here) so repeated
+	// runs of one program behave identically.
+	specInv []int32
 }
 
 func (sc *vmScratch) prepare(cd *code) {
@@ -53,6 +59,13 @@ func (sc *vmScratch) prepare(cd *code) {
 	} else {
 		for i := 0; i < nl; i++ {
 			sc.profInv[i], sc.profIters[i], sc.profOps[i] = 0, 0, 0
+		}
+	}
+	if len(sc.specInv) < nl {
+		sc.specInv = make([]int32, nl)
+	} else {
+		for i := 0; i < nl; i++ {
+			sc.specInv[i] = 0
 		}
 	}
 	sc.paramStore = sc.paramStore[:0]
@@ -165,7 +178,11 @@ func newDDAState(d *DynDep, cd *code, sh *ddaShadow) *ddaState {
 	return st
 }
 
-func isAccessOp(op opcode) bool { return op >= opLoadGI && op <= opStorePEI }
+func isAccessOp(op opcode) bool {
+	return (op >= opLoadGI && op <= opStorePEI) ||
+		(op >= opLGIdxI && op <= opLCMulI) ||
+		(op >= opLPIdxLoadGEI && op <= opLCAddStoreGI)
+}
 
 func (st *ddaState) sample(iter int64) bool {
 	if st.sampleEvery <= 1 {
@@ -273,6 +290,13 @@ type vm struct {
 	// par dispatches approved parallel loops to per-worker views (nil on
 	// worker VMs, so nested planned loops stay sequential inside a region).
 	par *planRT
+	// spec enables profile-guided specialization on tiered runs: per-loop
+	// invocation counters (from vmScratch). nil on non-tiered runs and on
+	// worker VMs.
+	spec []int32
+	// pcCount, when non-nil, counts executions per pc (fusion census runs
+	// only — the branch predicts perfectly on normal runs).
+	pcCount []int64
 }
 
 func (v *vm) enterLoop(li int32) {
@@ -346,6 +370,7 @@ func (v *vm) run() error {
 	ops := v.ops
 	maxOps := v.maxOps
 	var nInstr int64
+	var stripIters int64
 
 	v.frames = append(v.frames[:0], frameRT{retPC: -1, savedTemp: v.tempTop})
 	// Worker views start with the dispatching frame's parameter bindings
@@ -357,18 +382,25 @@ func (v *vm) run() error {
 		v.unwindAll()
 		v.tempTop = v.frames[0].savedTemp // the tree-walker's deferred restores
 		counters.instructions.Add(nInstr)
+		if stripIters != 0 {
+			counters.stripIterations.Add(stripIters)
+		}
 		return err
 	}
 
+	// The ops budget is checked at basic-block boundaries (control transfers,
+	// calls/returns) and before every observable effect (opWrite, faulting
+	// ops) instead of per instruction. Budget-exceeded errors therefore fire
+	// within one basic block of the exact trigger point, with identical error
+	// kind and output; only unobserved arena stores may run a few
+	// instructions further (see compareRuns' budget relaxation).
 	for {
 		i := &ins[pc]
-		if i.tick != 0 {
-			ops += int64(i.tick)
-			if ops > maxOps {
-				return fail(fmt.Errorf("exec: operation budget exceeded (%d)", maxOps))
-			}
-		}
+		ops += int64(i.tick)
 		nInstr++
+		if v.pcCount != nil {
+			v.pcCount[pc]++
+		}
 		switch i.op {
 		case opNop:
 
@@ -382,19 +414,23 @@ func (v *vm) run() error {
 			stack[sp] = mem[params[i.a]]
 			sp++
 		case opIdx:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
 			d := &cd.idx[i.a]
 			iv := int64(math.Round(stack[sp-1]))
 			if iv < d.lo || iv > d.hi {
-				return fail(fmt.Errorf("exec: line %d: index %d out of bounds %d:%d for %s dim %d",
-					d.line, iv, d.lo, d.hi, d.name, d.dim))
+				return fail(boundsErr(d, iv))
 			}
 			stack[sp-1] = float64((iv - d.lo) * d.stride)
 		case opIdxAdd:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
 			d := &cd.idx[i.a]
 			iv := int64(math.Round(stack[sp-1]))
 			if iv < d.lo || iv > d.hi {
-				return fail(fmt.Errorf("exec: line %d: index %d out of bounds %d:%d for %s dim %d",
-					d.line, iv, d.lo, d.hi, d.name, d.dim))
+				return fail(boundsErr(d, iv))
 			}
 			sp--
 			stack[sp-1] += float64((iv - d.lo) * d.stride)
@@ -477,6 +513,9 @@ func (v *vm) run() error {
 			sp--
 			stack[sp-1] *= stack[sp]
 		case opDiv:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
 			sp--
 			if stack[sp] == 0 {
 				return fail(fmt.Errorf("exec: line %d: division by zero", i.a))
@@ -525,12 +564,18 @@ func (v *vm) run() error {
 				stack[sp-1] = 0
 			}
 		case opAndJmp:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
 			if stack[sp-1] == 0 {
 				pc = i.a
 				continue
 			}
 			sp--
 		case opOrJmp:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
 			if stack[sp-1] != 0 {
 				stack[sp-1] = 1
 				pc = i.a
@@ -538,6 +583,9 @@ func (v *vm) run() error {
 			}
 			sp--
 		case opIntrin:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
 			argc := int(i.b)
 			args := stack[sp-argc : sp]
 			r, err := applyIntrinsicID(i.a, args)
@@ -548,9 +596,15 @@ func (v *vm) run() error {
 			stack[sp-1] = r
 
 		case opJmp:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
 			pc = i.a
 			continue
 		case opJZ:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
 			sp--
 			if stack[sp] == 0 {
 				pc = i.a
@@ -558,6 +612,9 @@ func (v *vm) run() error {
 			}
 
 		case opLoopInit:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
 			step := stack[sp-1]
 			hi := stack[sp-2]
 			lo := stack[sp-3]
@@ -580,7 +637,7 @@ func (v *vm) run() error {
 					// exhausted activation so the sequential exit path
 					// (final index value, exit event) applies unchanged.
 					v.loopActs = append(v.loopActs, loopAct{
-						li: i.a, it: trips, trips: trips,
+						li: i.a, alt: -1, it: trips, trips: trips,
 						v: lo + float64(trips)*step, step: step, idxAddr: ia,
 					})
 					if v.events {
@@ -597,12 +654,26 @@ func (v *vm) run() error {
 					break
 				}
 			}
-			v.loopActs = append(v.loopActs, loopAct{li: i.a, trips: trips, v: lo, step: step, idxAddr: ia})
+			act := loopAct{li: i.a, alt: -1, trips: trips, v: lo, step: step, idxAddr: ia}
+			// Tiered specialization: once this loop's invocation count
+			// crosses the threshold and the preflight proves every guarded
+			// index in range for this activation, arm the checkless alt body.
+			if v.spec != nil && lm.altEntry >= 0 {
+				v.spec[i.a]++
+				if v.spec[i.a] >= specThreshold && specPreflight(cd, lm, lo, step, trips) {
+					act.alt = lm.altEntry
+					counters.specInvocations.Add(1)
+				}
+			}
+			v.loopActs = append(v.loopActs, act)
 			if v.events {
 				v.ops = ops
 				v.enterLoop(i.a)
 			}
 		case opLoopHead:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
 			act := &v.loopActs[len(v.loopActs)-1]
 			mem[act.idxAddr] = act.v // Fortran leaves the index past the bound
 			if act.it >= act.trips {
@@ -618,11 +689,62 @@ func (v *vm) run() error {
 			if v.events {
 				v.iterLoop(act.li, act.it)
 			}
+			if act.alt >= 0 {
+				// Armed activation: run the specialized body, unless the DDA
+				// samples this iteration (the alt body is stripped of
+				// instrumentation, so it may only run when read/write would
+				// record nothing anyway).
+				if d := v.dda; d != nil {
+					if d.unsampled == 0 {
+						break
+					}
+					stripIters++
+				}
+				pc = act.alt
+				continue
+			}
 		case opLoopNext:
 			act := &v.loopActs[len(v.loopActs)-1]
 			act.it++
 			act.v += act.step
 			pc = i.a
+			continue
+		case opLoopNextHead:
+			// Fused back edge: opLoopNext + opLoopHead in one dispatch. Both
+			// ticks are charged up front, so the budget check fires at the
+			// same virtual time the head's would.
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			act := &v.loopActs[len(v.loopActs)-1]
+			act.it++
+			act.v += act.step
+			mem[act.idxAddr] = act.v
+			if act.it >= act.trips {
+				if v.events {
+					v.ops = ops
+					v.exitLoopTop()
+				} else {
+					v.loopActs = v.loopActs[:len(v.loopActs)-1]
+				}
+				pc = i.b
+				continue
+			}
+			if v.events {
+				v.iterLoop(act.li, act.it)
+			}
+			if act.alt >= 0 {
+				if d := v.dda; d != nil {
+					if d.unsampled == 0 {
+						pc = i.a + 1
+						continue
+					}
+					stripIters++
+				}
+				pc = act.alt
+				continue
+			}
+			pc = i.a + 1
 			continue
 
 		case opArgAddrG:
@@ -641,6 +763,9 @@ func (v *vm) run() error {
 				sp++
 			}
 		case opCall:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
 			ci := &cd.calls[i.a]
 			n := len(ci.kinds)
 			argBase := sp - n
@@ -668,6 +793,9 @@ func (v *vm) run() error {
 			pc = ci.entry
 			continue
 		case opReturn:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
 			fr := v.frames[len(v.frames)-1]
 			for int32(len(v.loopActs)) > fr.loopBase {
 				if v.events {
@@ -682,6 +810,9 @@ func (v *vm) run() error {
 			if len(v.frames) == 0 {
 				v.ops = ops
 				counters.instructions.Add(nInstr)
+				if stripIters != 0 {
+					counters.stripIterations.Add(stripIters)
+				}
 				return nil
 			}
 			v.paramStore = v.paramStore[:fr.pbase]
@@ -691,6 +822,9 @@ func (v *vm) run() error {
 			continue
 
 		case opWrite:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
 			n := int(i.a)
 			vals := make([]interface{}, n)
 			for j := 0; j < n; j++ {
@@ -700,13 +834,704 @@ func (v *vm) run() error {
 			fmt.Fprintln(v.out, vals...)
 
 		case opErr:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
 			return fail(fmt.Errorf("%s", cd.errs[i.a]))
+
+		// ---- Tiered: fused superinstructions (uninstrumented) ----
+
+		case opLGIdx:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			stack[sp] = float64((iv - d.lo) * d.stride)
+			sp++
+		case opLPIdx:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[params[i.a]]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			stack[sp] = float64((iv - d.lo) * d.stride)
+			sp++
+		case opLGIdxAdd:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			stack[sp-1] += float64((iv - d.lo) * d.stride)
+		case opLPIdxAdd:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[params[i.a]]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			stack[sp-1] += float64((iv - d.lo) * d.stride)
+
+		case opLGIdxLoadGE:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			stack[sp] = mem[d.base+iv*d.stride]
+			sp++
+		case opLGIdxLoadPE:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			stack[sp] = mem[params[d.pslot]+d.base+iv*d.stride]
+			sp++
+		case opLGIdxStoreGE:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			sp--
+			mem[d.base+iv*d.stride] = stack[sp]
+		case opLGIdxStorePE:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			sp--
+			mem[params[d.pslot]+d.base+iv*d.stride] = stack[sp]
+
+		case opIdxAddLoadGE:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(stack[sp-1]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			sp--
+			stack[sp-1] = mem[int64(i.a)+int64(stack[sp-1])+(iv-d.lo)*d.stride]
+		case opIdxAddLoadPE:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(stack[sp-1]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			sp--
+			stack[sp-1] = mem[params[i.a]+int64(stack[sp-1])+(iv-d.lo)*d.stride]
+		case opIdxAddStoreGE:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(stack[sp-1]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			off := int64(stack[sp-2]) + (iv-d.lo)*d.stride
+			sp -= 3
+			mem[int64(i.a)+off] = stack[sp]
+		case opIdxAddStorePE:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(stack[sp-1]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			off := int64(stack[sp-2]) + (iv-d.lo)*d.stride
+			sp -= 3
+			mem[params[i.a]+off] = stack[sp]
+
+		case opConstAddStoreG:
+			sp--
+			mem[i.a] = stack[sp] + i.f
+
+		case opJEQ:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			sp -= 2
+			if !(stack[sp] == stack[sp+1]) {
+				pc = i.a
+				continue
+			}
+		case opJNE:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			sp -= 2
+			if !(stack[sp] != stack[sp+1]) {
+				pc = i.a
+				continue
+			}
+		case opJLT:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			sp -= 2
+			if !(stack[sp] < stack[sp+1]) {
+				pc = i.a
+				continue
+			}
+		case opJLE:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			sp -= 2
+			if !(stack[sp] <= stack[sp+1]) {
+				pc = i.a
+				continue
+			}
+		case opJGT:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			sp -= 2
+			if !(stack[sp] > stack[sp+1]) {
+				pc = i.a
+				continue
+			}
+		case opJGE:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			sp -= 2
+			if !(stack[sp] >= stack[sp+1]) {
+				pc = i.a
+				continue
+			}
+
+		case opLLAdd:
+			stack[sp] = mem[i.a] + mem[i.b]
+			sp++
+		case opLLSub:
+			stack[sp] = mem[i.a] - mem[i.b]
+			sp++
+		case opLLMul:
+			stack[sp] = mem[i.a] * mem[i.b]
+			sp++
+		case opLCAdd:
+			stack[sp] = mem[i.a] + i.f
+			sp++
+		case opLCSub:
+			stack[sp] = mem[i.a] - i.f
+			sp++
+		case opLCMul:
+			stack[sp] = mem[i.a] * i.f
+			sp++
+
+		// ---- Tiered: instrumented twins. Analyzer calls replay the exact
+		// component order of the unfused window, so access counts, skip
+		// decisions and fault-time shadow state are bit-identical. ----
+
+		case opLGIdxI:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			v.dda.read(int64(i.a), pc)
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			stack[sp] = float64((iv - d.lo) * d.stride)
+			sp++
+		case opLPIdxI:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			addr := params[i.a]
+			v.dda.read(addr, pc)
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[addr]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			stack[sp] = float64((iv - d.lo) * d.stride)
+			sp++
+		case opLGIdxAddI:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			v.dda.read(int64(i.a), pc)
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			stack[sp-1] += float64((iv - d.lo) * d.stride)
+		case opLPIdxAddI:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			addr := params[i.a]
+			v.dda.read(addr, pc)
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[addr]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			stack[sp-1] += float64((iv - d.lo) * d.stride)
+
+		case opLGIdxLoadGEI:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			v.dda.read(int64(i.a), pc)
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			addr := d.base + iv*d.stride
+			v.dda.read(addr, pc)
+			stack[sp] = mem[addr]
+			sp++
+		case opLGIdxLoadPEI:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			v.dda.read(int64(i.a), pc)
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			addr := params[d.pslot] + d.base + iv*d.stride
+			v.dda.read(addr, pc)
+			stack[sp] = mem[addr]
+			sp++
+		case opLGIdxStoreGEI:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			v.dda.read(int64(i.a), pc)
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			addr := d.base + iv*d.stride
+			v.dda.write(addr, pc)
+			sp--
+			mem[addr] = stack[sp]
+		case opLGIdxStorePEI:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			v.dda.read(int64(i.a), pc)
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			addr := params[d.pslot] + d.base + iv*d.stride
+			v.dda.write(addr, pc)
+			sp--
+			mem[addr] = stack[sp]
+
+		case opIdxAddLoadGEI:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(stack[sp-1]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			sp--
+			addr := int64(i.a) + int64(stack[sp-1]) + (iv-d.lo)*d.stride
+			v.dda.read(addr, pc)
+			stack[sp-1] = mem[addr]
+		case opIdxAddLoadPEI:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(stack[sp-1]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			sp--
+			addr := params[i.a] + int64(stack[sp-1]) + (iv-d.lo)*d.stride
+			v.dda.read(addr, pc)
+			stack[sp-1] = mem[addr]
+		case opIdxAddStoreGEI:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(stack[sp-1]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			addr := int64(i.a) + int64(stack[sp-2]) + (iv-d.lo)*d.stride
+			v.dda.write(addr, pc)
+			sp -= 3
+			mem[addr] = stack[sp]
+		case opIdxAddStorePEI:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(stack[sp-1]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			addr := params[i.a] + int64(stack[sp-2]) + (iv-d.lo)*d.stride
+			v.dda.write(addr, pc)
+			sp -= 3
+			mem[addr] = stack[sp]
+
+		case opConstAddStoreGI:
+			v.dda.write(int64(i.a), pc)
+			sp--
+			mem[i.a] = stack[sp] + i.f
+
+		case opLLAddI:
+			v.dda.read(int64(i.a), pc)
+			v.dda.read(int64(i.b), pc)
+			stack[sp] = mem[i.a] + mem[i.b]
+			sp++
+		case opLLSubI:
+			v.dda.read(int64(i.a), pc)
+			v.dda.read(int64(i.b), pc)
+			stack[sp] = mem[i.a] - mem[i.b]
+			sp++
+		case opLLMulI:
+			v.dda.read(int64(i.a), pc)
+			v.dda.read(int64(i.b), pc)
+			stack[sp] = mem[i.a] * mem[i.b]
+			sp++
+		case opLCAddI:
+			v.dda.read(int64(i.a), pc)
+			stack[sp] = mem[i.a] + i.f
+			sp++
+		case opLCSubI:
+			v.dda.read(int64(i.a), pc)
+			stack[sp] = mem[i.a] - i.f
+			sp++
+		case opLCMulI:
+			v.dda.read(int64(i.a), pc)
+			stack[sp] = mem[i.a] * i.f
+			sp++
+
+		// ---- Tiered: specialized (checkless) accesses. Only reachable
+		// through an armed activation, whose preflight proved every index of
+		// this run in range; the index cell provably holds the exact integer
+		// induction value (specializable forbids anything that could clobber
+		// it), so truncation equals the generic tier's rounding. ----
+
+		case opSpecLoadG:
+			d := &cd.idx[i.b]
+			stack[sp] = mem[d.base+int64(mem[i.a])*d.stride]
+			sp++
+		case opSpecStoreG:
+			d := &cd.idx[i.b]
+			sp--
+			mem[d.base+int64(mem[i.a])*d.stride] = stack[sp]
+		case opSpecLoadP:
+			d := &cd.idx[i.b]
+			stack[sp] = mem[params[d.pslot]+d.base+int64(mem[i.a])*d.stride]
+			sp++
+		case opSpecStoreP:
+			d := &cd.idx[i.b]
+			sp--
+			mem[params[d.pslot]+d.base+int64(mem[i.a])*d.stride] = stack[sp]
+
+		// ---- Tiered: second-order fusions (uninstrumented) ----
+
+		case opLPIdxLoadGE:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[params[i.a]]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			stack[sp] = mem[d.base+iv*d.stride]
+			sp++
+		case opLPIdxLoadPE:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[params[i.a]]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			stack[sp] = mem[params[d.pslot]+d.base+iv*d.stride]
+			sp++
+		case opLPIdxStoreGE:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[params[i.a]]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			sp--
+			mem[d.base+iv*d.stride] = stack[sp]
+		case opLPIdxStorePE:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[params[i.a]]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			sp--
+			mem[params[d.pslot]+d.base+iv*d.stride] = stack[sp]
+
+		case opLoadGEAdd:
+			sp--
+			stack[sp-1] += mem[int64(i.a)+int64(stack[sp])]
+		case opLoadGESub:
+			sp--
+			stack[sp-1] -= mem[int64(i.a)+int64(stack[sp])]
+		case opLoadGEMul:
+			sp--
+			stack[sp-1] *= mem[int64(i.a)+int64(stack[sp])]
+		case opLCMulAdd:
+			stack[sp-1] += mem[i.a] * i.f
+		case opLPJGT:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			sp--
+			if !(stack[sp] > mem[params[i.b]]) {
+				pc = i.a
+				continue
+			}
+		case opLPJLE:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			sp--
+			if !(stack[sp] <= mem[params[i.b]]) {
+				pc = i.a
+				continue
+			}
+		case opLCIdx:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a] + i.f))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			stack[sp] = float64((iv - d.lo) * d.stride)
+			sp++
+		case opLCAddStoreG:
+			mem[i.b] = mem[i.a] + i.f
+
+		// ---- Tiered: second-order instrumented twins ----
+
+		case opLPIdxLoadGEI:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			addr := params[i.a]
+			v.dda.read(addr, pc)
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[addr]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			ea := d.base + iv*d.stride
+			v.dda.read(ea, pc)
+			stack[sp] = mem[ea]
+			sp++
+		case opLPIdxLoadPEI:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			addr := params[i.a]
+			v.dda.read(addr, pc)
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[addr]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			ea := params[d.pslot] + d.base + iv*d.stride
+			v.dda.read(ea, pc)
+			stack[sp] = mem[ea]
+			sp++
+		case opLPIdxStoreGEI:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			addr := params[i.a]
+			v.dda.read(addr, pc)
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[addr]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			ea := d.base + iv*d.stride
+			v.dda.write(ea, pc)
+			sp--
+			mem[ea] = stack[sp]
+		case opLPIdxStorePEI:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			addr := params[i.a]
+			v.dda.read(addr, pc)
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[addr]))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			ea := params[d.pslot] + d.base + iv*d.stride
+			v.dda.write(ea, pc)
+			sp--
+			mem[ea] = stack[sp]
+
+		case opLoadGEAddI:
+			sp--
+			addr := int64(i.a) + int64(stack[sp])
+			v.dda.read(addr, pc)
+			stack[sp-1] += mem[addr]
+		case opLoadGESubI:
+			sp--
+			addr := int64(i.a) + int64(stack[sp])
+			v.dda.read(addr, pc)
+			stack[sp-1] -= mem[addr]
+		case opLoadGEMulI:
+			sp--
+			addr := int64(i.a) + int64(stack[sp])
+			v.dda.read(addr, pc)
+			stack[sp-1] *= mem[addr]
+		case opLCMulAddI:
+			v.dda.read(int64(i.a), pc)
+			stack[sp-1] += mem[i.a] * i.f
+		case opLPJGTI:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			addr := params[i.b]
+			v.dda.read(addr, pc)
+			sp--
+			if !(stack[sp] > mem[addr]) {
+				pc = i.a
+				continue
+			}
+		case opLPJLEI:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			addr := params[i.b]
+			v.dda.read(addr, pc)
+			sp--
+			if !(stack[sp] <= mem[addr]) {
+				pc = i.a
+				continue
+			}
+		case opLCIdxI:
+			if ops > maxOps {
+				return fail(budgetErr(maxOps))
+			}
+			v.dda.read(int64(i.a), pc)
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a] + i.f))
+			if iv < d.lo || iv > d.hi {
+				return fail(boundsErr(d, iv))
+			}
+			stack[sp] = float64((iv - d.lo) * d.stride)
+			sp++
+		case opLCAddStoreGI:
+			v.dda.read(int64(i.a), pc)
+			v.dda.write(int64(i.b), pc)
+			mem[i.b] = mem[i.a] + i.f
 
 		default:
 			return fail(fmt.Errorf("exec: bad opcode %d at pc %d", i.op, pc))
 		}
 		pc++
 	}
+}
+
+func budgetErr(maxOps int64) error {
+	return fmt.Errorf("exec: operation budget exceeded (%d)", maxOps)
+}
+
+func boundsErr(d *idxData, iv int64) error {
+	return fmt.Errorf("exec: line %d: index %d out of bounds %d:%d for %s dim %d",
+		d.line, iv, d.lo, d.hi, d.name, d.dim)
+}
+
+// specThreshold is the invocation count (within one run) after which a
+// specializable loop's activations try to arm the alt body.
+const specThreshold = 2
+
+// specPreflight proves every guarded index expression of one activation in
+// bounds using exact integer endpoints, so the alt body may drop per-access
+// checks. Conservative: fractional or huge endpoints keep the generic body.
+// The magnitude bounds keep lo + k*step exactly representable (< 2^52) for
+// every iteration, so the repeated float addition that advances the index
+// is exact and truncation is sound.
+func specPreflight(cd *code, lm *loopMeta, lo, step float64, trips int64) bool {
+	if trips <= 0 {
+		return false
+	}
+	if lo != math.Trunc(lo) || step != math.Trunc(step) {
+		return false
+	}
+	if math.Abs(lo) > 1<<40 || math.Abs(step) > 1<<20 || trips > math.MaxInt32 {
+		return false
+	}
+	first := int64(lo)
+	last := first + (trips-1)*int64(step)
+	mn, mx := first, last
+	if mn > mx {
+		mn, mx = mx, mn
+	}
+	for _, g := range lm.guards {
+		d := &cd.idx[g]
+		if mn < d.lo || mx > d.hi {
+			return false
+		}
+	}
+	return true
 }
 
 func applyIntrinsicID(id int32, args []float64) (float64, error) {

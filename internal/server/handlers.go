@@ -281,9 +281,14 @@ type ProfileRequest struct {
 	SourceRef
 	// MaxOps bounds the interpreted execution (default 50M operations).
 	MaxOps int64 `json:"max_ops,omitempty"`
-	// Mode selects the execution engine: "auto" (default), "bytecode" or
-	// "tree" — the tree-walker is kept for differential debugging.
+	// Mode selects the execution engine: "auto" (default), "bytecode",
+	// "tiered" or "tree" — the tree-walker is kept for differential
+	// debugging.
 	Mode string `json:"mode,omitempty"`
+	// Tier names a concrete engine tier ("tree", "bytecode" or "tiered")
+	// and, when set, overrides Mode. Unknown values are a 422, mirroring
+	// the mode contract.
+	Tier string `json:"tier,omitempty"`
 	// Workers, when > 1, lowers the analysis' approved parallel loops to a
 	// runtime plan and executes them on that many workers (§4.5 even-chunk
 	// schedule). Loops nested inside a planned body run in workers without
@@ -332,6 +337,13 @@ func (s *Server) handleProfile(ctx context.Context, r *http.Request) (any, error
 	mode := s.cfg.ExecMode
 	if req.Mode != "" {
 		m, err := exec.ParseMode(req.Mode)
+		if err != nil {
+			return nil, errf(http.StatusUnprocessableEntity, "%v", err)
+		}
+		mode = m
+	}
+	if req.Tier != "" {
+		m, err := exec.ParseTier(req.Tier)
 		if err != nil {
 			return nil, errf(http.StatusUnprocessableEntity, "%v", err)
 		}

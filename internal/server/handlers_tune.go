@@ -33,8 +33,12 @@ type TuneRequest struct {
 	// /v1/profile); it also bounds how long a cancelled search's in-flight
 	// run can straggle.
 	MaxOps int64 `json:"max_ops,omitempty"`
-	// Mode selects the engine: "auto" (default), "bytecode" or "tree".
+	// Mode selects the engine: "auto" (default), "bytecode", "tiered" or
+	// "tree".
 	Mode string `json:"mode,omitempty"`
+	// Tier names a concrete engine tier and overrides Mode when set, as on
+	// /v1/profile.
+	Tier string `json:"tier,omitempty"`
 	// Machine selects the cost model: "alpha" (default, AlphaServer 8400),
 	// "challenge" (SGI Challenge) or "origin" (SGI Origin 2000).
 	Machine string `json:"machine,omitempty"`
@@ -69,6 +73,13 @@ func (s *Server) handleTune(ctx context.Context, r *http.Request) (any, error) {
 	mode := s.cfg.ExecMode
 	if req.Mode != "" {
 		m, err := exec.ParseMode(req.Mode)
+		if err != nil {
+			return nil, errf(http.StatusUnprocessableEntity, "%v", err)
+		}
+		mode = m
+	}
+	if req.Tier != "" {
+		m, err := exec.ParseTier(req.Tier)
 		if err != nil {
 			return nil, errf(http.StatusUnprocessableEntity, "%v", err)
 		}

@@ -413,28 +413,31 @@ func TestServerProfile(t *testing.T) {
 	}
 }
 
-// TestServerProfileMode: the per-request engine knob. Both engines must
+// TestServerProfileMode: the per-request engine knob. Every engine must
 // yield identical profile payloads; unknown modes are a client error.
 func TestServerProfileMode(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	w := workloads.All()[0]
 	var bodies []string
-	for _, mode := range []string{"bytecode", "tree"} {
+	for _, mode := range []string{"bytecode", "tree", "tiered"} {
 		status, fields := postJSON(t, ts, "/v1/profile", map[string]any{"workload": w.Name, "mode": mode})
 		if status != http.StatusOK {
 			t.Fatalf("mode=%s: status = %d (%s)", mode, status, fields["error"])
 		}
 		bodies = append(bodies, string(fields["total_ops"])+string(fields["loops"]))
 	}
-	if bodies[0] != bodies[1] {
-		t.Fatalf("engines disagree over HTTP:\nbytecode: %s\ntree:     %s", bodies[0], bodies[1])
+	for i := 1; i < len(bodies); i++ {
+		if bodies[0] != bodies[i] {
+			t.Fatalf("engines disagree over HTTP:\nbytecode: %s\nother:    %s", bodies[0], bodies[i])
+		}
 	}
 	status, fields := postJSON(t, ts, "/v1/profile", map[string]any{"workload": w.Name, "mode": "jit"})
 	if status != http.StatusUnprocessableEntity {
 		t.Fatalf("mode=jit: status = %d (%s), want 422", status, fields["error"])
 	}
 
-	// The stats snapshot exposes the engine counters the runs just bumped.
+	// The stats snapshot exposes the engine counters the runs just bumped,
+	// including the tiered tier's.
 	_, sr := getStats(t, ts)
 	if sr.Exec.CompiledProcs < 1 || sr.Exec.Instructions < 1 || sr.Exec.BytecodeRuns < 1 {
 		t.Fatalf("exec counters not visible: %+v", sr.Exec)
@@ -442,8 +445,39 @@ func TestServerProfileMode(t *testing.T) {
 	if sr.Exec.TreeRuns < 1 {
 		t.Fatalf("tree run not counted: %+v", sr.Exec)
 	}
+	if sr.Exec.TieredRuns < 1 || sr.Exec.FusedInstructions < 1 {
+		t.Fatalf("tiered run not counted: %+v", sr.Exec)
+	}
 	if sr.ExecMode != "auto" {
 		t.Fatalf("exec_mode = %q, want auto", sr.ExecMode)
+	}
+}
+
+// TestServerProfileTier: the `tier` knob names a concrete engine and
+// overrides `mode`; unknown tiers are a 422, mirroring the mode contract.
+func TestServerProfileTier(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	w := workloads.All()[0]
+	var bodies []string
+	for _, tier := range []string{"bytecode", "tiered"} {
+		status, fields := postJSON(t, ts, "/v1/profile",
+			map[string]any{"workload": w.Name, "mode": "tree", "tier": tier})
+		if status != http.StatusOK {
+			t.Fatalf("tier=%s: status = %d (%s)", tier, status, fields["error"])
+		}
+		bodies = append(bodies, string(fields["total_ops"])+string(fields["loops"]))
+	}
+	if bodies[0] != bodies[1] {
+		t.Fatalf("tiers disagree over HTTP:\nbytecode: %s\ntiered:   %s", bodies[0], bodies[1])
+	}
+	status, fields := postJSON(t, ts, "/v1/profile", map[string]any{"workload": w.Name, "tier": "auto"})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("tier=auto: status = %d (%s), want 422 (a tier names a concrete engine)",
+			status, fields["error"])
+	}
+	status, fields = postJSON(t, ts, "/v1/profile", map[string]any{"workload": w.Name, "tier": "jit"})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("tier=jit: status = %d (%s), want 422", status, fields["error"])
 	}
 }
 
