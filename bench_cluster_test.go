@@ -1,0 +1,138 @@
+// Cluster batch fan-out benchmarks, committed as BENCH_cluster.json (see
+// EXPERIMENTS.md). Each sub-benchmark runs a real coordinator over N real
+// in-process workers and streams the same 16-program corpus manifest through
+// POST /v1/batch. Alongside wall time, every run reports the deterministic
+// virtual makespan — the max over ring shards of the summed source lines the
+// ring assigns that shard — on a canonical-name ring, so the 1w→2w scaling
+// curve is reproducible on a single-core runner where wall-clock parallel
+// speedup is physically impossible (same convention as vt_speedup in
+// BENCH_parallel.json). benchjson derives batch_scaleup_2w from the 1w and
+// 2w makespans.
+package suifx_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"suifx/internal/cluster"
+	"suifx/internal/corpus"
+	"suifx/internal/driver"
+	"suifx/internal/server"
+)
+
+// benchBatchItems is the benchmark manifest: 16 factory programs of ~600
+// lines each (seeds 9000..9015), small enough that a -benchtime=1x run
+// stays in CI budget and numerous enough that the ring splits them evenly.
+func benchBatchItems() []corpus.BatchItem {
+	cfg := corpus.Config{
+		TargetLines: 600, CallDepth: 2, CallFanout: 2, LoopDepth: 2,
+		AliasDensity: 0.2, ReductionMix: 0.3, TripLo: 2, TripHi: 10,
+	}
+	items := make([]corpus.BatchItem, 16)
+	for i := range items {
+		c := cfg
+		items[i] = corpus.BatchItem{Seed: 9000 + int64(i), Config: &c}
+	}
+	return items
+}
+
+// virtualMakespan models the coordinator's shard assignment on a ring of n
+// canonical member names and charges each item its source-line count: the
+// returned makespan is the busiest shard's total, the unit the batch
+// scale-up is stated in. Canonical names (not live worker ports) keep the
+// metric byte-stable across runs.
+func virtualMakespan(b *testing.B, items []corpus.BatchItem, n int) (makespan, total float64) {
+	members := make([]string, n)
+	for i := range members {
+		members[i] = fmt.Sprintf("worker-%d", i+1)
+	}
+	ring := cluster.BuildRing(members, 0, 1)
+	load := map[string]float64{}
+	for _, it := range items {
+		_, src, err := it.Resolve()
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := corpus.Generate(it.Seed, *it.Config)
+		lines := float64(p.Manifest.Stats.Lines)
+		load[ring.Owner(cluster.ProgramKey("", src))] += lines
+		total += lines
+	}
+	for _, v := range load {
+		if v > makespan {
+			makespan = v
+		}
+	}
+	return makespan, total
+}
+
+// BenchmarkClusterBatch streams the manifest through a coordinator fronting
+// 1 and 2 workers. Sub-benchmark names avoid a trailing -N so benchjson's
+// procs-suffix stripping can't eat the worker count.
+func BenchmarkClusterBatch(b *testing.B) {
+	items := benchBatchItems()
+	body, err := json.Marshal(server.BatchRequest{Items: items})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{1, 2} {
+		b.Run(fmt.Sprintf("%dw", n), func(b *testing.B) {
+			urls := make([]string, n)
+			for i := range urls {
+				srv := server.New(server.Config{Cache: driver.NewCache()})
+				defer srv.Close()
+				ts := httptest.NewServer(srv.Handler())
+				defer ts.Close()
+				urls[i] = ts.URL
+			}
+			co, err := cluster.New(cluster.Config{Workers: urls, HedgeDelay: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer co.Close()
+			cts := httptest.NewServer(co.Handler())
+			defer cts.Close()
+
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := http.Post(cts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sc := bufio.NewScanner(resp.Body)
+				sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+				var last string
+				records := 0
+				for sc.Scan() {
+					if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+						continue
+					}
+					records++
+					last = sc.Text()
+				}
+				resp.Body.Close()
+				if err := sc.Err(); err != nil {
+					b.Fatal(err)
+				}
+				var sum server.BatchSummary
+				if err := json.Unmarshal([]byte(last), &sum); err != nil {
+					b.Fatalf("trailer: %v (%q)", err, last)
+				}
+				if records != len(items)+1 || !sum.Done || sum.OK != len(items) {
+					b.Fatalf("batch run: %d records, trailer %+v", records, sum)
+				}
+			}
+			b.StopTimer()
+
+			makespan, total := virtualMakespan(b, items, n)
+			b.ReportMetric(float64(len(items)), "batch_items")
+			b.ReportMetric(makespan/1000, "vmakespan_klines")
+			b.ReportMetric(total/makespan, "vt_scaleup")
+		})
+	}
+}

@@ -264,6 +264,33 @@ func derive(rep *Report) {
 		rep.Derived["tune_best_speedup"] = round2(tuneBest)
 	}
 
+	// ClusterBatch/<N>w rows (BENCH_cluster.json): the batch fan-out scaling
+	// curve. Each N-worker run's virtual makespan (busiest shard's summed
+	// source lines under the ring assignment) ratios against the 1-worker
+	// run — the acceptance metric batch_scaleup_2w — and the wall-clock
+	// ratio rides along for runners with real parallelism.
+	if base, ok := byName["ClusterBatch/1w"]; ok {
+		for _, bm := range rep.Benchmarks {
+			nw, found := strings.CutPrefix(bm.Name, "ClusterBatch/")
+			if !found || nw == "1w" || !strings.HasSuffix(nw, "w") {
+				continue
+			}
+			n := strings.TrimSuffix(nw, "w")
+			if _, err := strconv.Atoi(n); err != nil {
+				continue
+			}
+			if rep.Derived == nil {
+				rep.Derived = map[string]float64{}
+			}
+			if mk := bm.Metrics["vmakespan_klines"]; mk > 0 {
+				rep.Derived["batch_scaleup_"+nw] = round2(base.Metrics["vmakespan_klines"] / mk)
+			}
+			if bm.NsPerOp > 0 {
+				rep.Derived["batch_wall_ratio_"+nw] = round2(base.NsPerOp / bm.NsPerOp)
+			}
+		}
+	}
+
 	cold, okC := byName["SessionColdAnalyze"]
 	incr, okI := byName["SessionIncrementalReanalyze"]
 	if okC && okI && incr.NsPerOp > 0 {

@@ -11,21 +11,28 @@ import (
 	"strconv"
 	"strings"
 
+	"suifx/internal/httpretry"
 	"suifx/internal/session"
 )
 
 // remote drives an interactive session hosted by a suifxd server (-connect):
 // the same Guru dialogue, but the program, its analysis state, and the
 // incremental re-analysis live server-side, so many explorers can share one
-// warm analysis cache.
+// warm analysis cache. Transient connection failures (a refused dial while
+// the daemon restarts, a shed 429) are retried with jittered backoff up to
+// 3 attempts before surfacing.
 type remote struct {
 	base string
 	id   string
-	hc   *http.Client
+	hc   *httpretry.Client
 }
 
 func runRemote(base, name, src, workload, script string) {
-	r := &remote{base: strings.TrimRight(base, "/"), hc: http.DefaultClient}
+	r := &remote{base: strings.TrimRight(base, "/"), hc: &httpretry.Client{
+		OnRetry: func(attempt int, err error) {
+			fmt.Fprintf(os.Stderr, "explorer: attempt %d failed (%v); retrying\n", attempt, err)
+		},
+	}}
 	req := map[string]any{}
 	if workload != "" {
 		req["workload"] = workload
@@ -207,6 +214,7 @@ func (r *remote) call(method, path string, body, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// bytes.Reader bodies give the request a GetBody, so retries rewind.
 	resp, err := r.hc.Do(req)
 	if err != nil {
 		return err

@@ -42,6 +42,8 @@ func main() {
 	machName := flag.String("machine", "alpha", "auto: cost model (alpha, challenge, origin)")
 	asJSON := flag.Bool("json", false, "auto: emit the full tune report as JSON")
 	execTier := flag.String("exec-tier", "", "execution engine tier for -auto runs (tree, bytecode or tiered)")
+	connect := flag.String("connect", "",
+		"run the analysis on a suifxd server (or cluster coordinator) at this base URL instead of locally")
 	flag.Parse()
 
 	if *execTier != "" {
@@ -75,6 +77,20 @@ func main() {
 	// one process (tests, future REPL use) share summaries.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *connect != "" {
+		err := runConnect(ctx, connectOpts{
+			base: *connect, name: name, src: src, workload: *wl,
+			noRed: *noRed, liveness: *useLive, workers: *workers,
+			auto: *auto, budget: *budget, depth: *depth,
+			machine: *machName, tier: *execTier, asJSON: *asJSON,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	res0, err := driver.Shared().AnalyzeCtx(ctx, name, src, driver.Options{Workers: *workers})
 	if err != nil {
 		fatal(err)
@@ -143,6 +159,12 @@ func runAuto(ctx context.Context, res *parallel.Result, budget, depth int, machN
 	if err != nil {
 		return err
 	}
+	return printTuneReport(res.Prog.Name, rep, asJSON)
+}
+
+// printTuneReport renders a tune report — computed locally or decoded from a
+// server's /v1/tune response — as the per-nest winners table.
+func printTuneReport(progName string, rep *tune.Report, asJSON bool) error {
 	if asJSON {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -152,7 +174,7 @@ func runAuto(ctx context.Context, res *parallel.Result, budget, depth int, machN
 		return nil
 	}
 	fmt.Printf("%s: tuned %d nests in %d runs (%d variants scored, %d pruned)\n",
-		res.Prog.Name, len(rep.Loops), rep.Runs, rep.Searched, rep.Pruned)
+		progName, len(rep.Loops), rep.Runs, rep.Searched, rep.Pruned)
 	if rep.BudgetExhausted {
 		fmt.Println("  search budget exhausted: unexecuted variants counted as pruned")
 	}

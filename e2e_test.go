@@ -4,6 +4,7 @@
 package suifx_test
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -487,6 +488,132 @@ func TestE2ESession(t *testing.T) {
 	}
 
 	stopSuifxd(t, cmd, tail)
+}
+
+// TestE2ECluster boots two worker daemons and a coordinator over them, runs
+// the quick corpus ladder as a cluster batch, kills one worker mid-batch, and
+// asserts the NDJSON stream stays byte-identical to a single-node run. It
+// also drives sessions and the suifpar -connect mode through the coordinator.
+func TestE2ECluster(t *testing.T) {
+	bin := buildBinary(t, "suifxd")
+
+	w1base, w1cmd, w1tail := startSuifxd(t, bin)
+	w2base, w2cmd, _ := startSuifxd(t, bin)
+	cobase, cocmd, cotail := startSuifxd(t, bin,
+		"-coordinator", "-workers", strings.TrimPrefix(w1base, "http://")+","+strings.TrimPrefix(w2base, "http://"),
+		"-probe-period", "100ms", "-fail-threshold", "2")
+
+	runBatch := func(base string, killAfterFirstLine *exec.Cmd) []byte {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/batch", "application/json",
+			strings.NewReader(`{"ladder": "quick"}`))
+		if err != nil {
+			t.Fatalf("batch on %s: %v", base, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			msg, _ := io.ReadAll(resp.Body)
+			t.Fatalf("batch on %s: status %d: %s", base, resp.StatusCode, msg)
+		}
+		var buf bytes.Buffer
+		rd := bufio.NewReader(resp.Body)
+		for {
+			line, err := rd.ReadBytes('\n')
+			buf.Write(line)
+			if killAfterFirstLine != nil {
+				killAfterFirstLine.Process.Kill()
+				killAfterFirstLine = nil
+			}
+			if err != nil {
+				break
+			}
+		}
+		return buf.Bytes()
+	}
+
+	// Single-node baseline from worker 1, then the same manifest through the
+	// 2-worker cluster: the streams must match byte for byte.
+	baseline := runBatch(w1base, nil)
+	if got := runBatch(cobase, nil); !bytes.Equal(got, baseline) {
+		t.Fatalf("cluster batch diverges from single-node:\n--- single\n%s\n--- cluster\n%s", baseline, got)
+	}
+
+	// Sessions route through the coordinator with the same dialogue contract.
+	do := func(method, path string, body any) (int, map[string]json.RawMessage) {
+		t.Helper()
+		var rd io.Reader
+		if body != nil {
+			data, _ := json.Marshal(body)
+			rd = bytes.NewReader(data)
+		}
+		req, _ := http.NewRequest(method, cobase+path, rd)
+		if rd != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		fields := map[string]json.RawMessage{}
+		json.Unmarshal(raw, &fields)
+		return resp.StatusCode, fields
+	}
+	code, fields := do("POST", "/v1/session", map[string]any{"workload": "mdg"})
+	if code != 200 {
+		t.Fatalf("session via coordinator: %d (%s)", code, fields["error"])
+	}
+	var sid string
+	json.Unmarshal(fields["id"], &sid)
+	code, fields = do("POST", "/v1/session/"+sid+"/assert",
+		map[string]any{"kind": "private", "loop": "INTERF/1000", "var": "RL"})
+	var accepted bool
+	json.Unmarshal(fields["accepted"], &accepted)
+	if code != 200 || !accepted {
+		t.Fatalf("assert via coordinator: %d accepted=%v (%s)", code, accepted, fields["error"])
+	}
+
+	// suifpar -connect drives the coordinator like a local run (and -auto
+	// reaches /v1/tune through the proxy).
+	spbin := buildBinary(t, "suifpar")
+	stdout, stderr, ecode := run(t, spbin, "", "-connect", cobase, "-workload", "mdg")
+	if ecode != 0 || !strings.Contains(stdout, "parallelizable") {
+		t.Fatalf("suifpar -connect: exit %d\nstdout: %s\nstderr: %s", ecode, stdout, stderr)
+	}
+	stdout, stderr, ecode = run(t, spbin, "", "-connect", cobase, "-auto", "-workload", "mdg")
+	if ecode != 0 || !strings.Contains(stdout, "tuned") {
+		t.Fatalf("suifpar -connect -auto: exit %d\nstdout: %s\nstderr: %s", ecode, stdout, stderr)
+	}
+
+	// Kill worker 2 mid-batch: its items fail over to worker 1 and the stream
+	// still matches the single-node bytes.
+	if got := runBatch(cobase, w2cmd); !bytes.Equal(got, baseline) {
+		t.Fatalf("batch with a killed worker diverges:\n--- single\n%s\n--- cluster\n%s", baseline, got)
+	}
+	w2cmd.Wait() // reap; killed exit is expected
+
+	// The coordinator's stats expose the cluster counters.
+	resp, err := http.Get(cobase + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Cluster struct {
+			RingGeneration uint64 `json:"ring_generation"`
+			TotalWorkers   int    `json:"total_workers"`
+			BatchItems     int64  `json:"batch_items"`
+		} `json:"cluster"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil || stats.Cluster.TotalWorkers != 2 || stats.Cluster.BatchItems < 4 {
+		t.Fatalf("coordinator stats: err=%v %+v", err, stats.Cluster)
+	}
+
+	// Both survivors shut down gracefully.
+	stopSuifxd(t, cocmd, cotail)
+	stopSuifxd(t, w1cmd, w1tail)
 }
 
 // lineWriter is a thread-safe io.Writer that accumulates everything written

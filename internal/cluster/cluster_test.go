@@ -1,0 +1,643 @@
+package cluster_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"suifx/internal/cluster"
+	"suifx/internal/driver"
+	"suifx/internal/server"
+)
+
+// gatedWorker is a real worker server behind a togglable gate: down() makes
+// every request answer 503 without closing the listener — an outage the
+// health prober sees and the coordinator must route around — and a settable
+// delay slows answers to force hedges.
+type gatedWorker struct {
+	srv   *server.Server
+	ts    *httptest.Server
+	down  atomic.Bool
+	delay atomic.Int64 // nanoseconds added before answering
+}
+
+func (g *gatedWorker) URL() string { return g.ts.URL }
+
+func newGatedWorker(t *testing.T, cfg server.Config) *gatedWorker {
+	t.Helper()
+	if cfg.Cache == nil {
+		cfg.Cache = driver.NewCache()
+	}
+	g := &gatedWorker{srv: server.New(cfg)}
+	t.Cleanup(g.srv.Close)
+	inner := g.srv.Handler()
+	g.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if g.down.Load() {
+			server.WriteError(w, http.StatusServiceUnavailable, "worker gated down")
+			return
+		}
+		if d := g.delay.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(g.ts.Close)
+	return g
+}
+
+// newTestCluster boots n gated workers and a coordinator with a fast health
+// loop. Hedging is off unless the test turns it on via tweak.
+func newTestCluster(t *testing.T, n int, tweak func(*cluster.Config)) (*cluster.Coordinator, *httptest.Server, []*gatedWorker) {
+	t.Helper()
+	workers := make([]*gatedWorker, n)
+	urls := make([]string, n)
+	for i := range workers {
+		workers[i] = newGatedWorker(t, server.Config{})
+		urls[i] = workers[i].URL()
+	}
+	cfg := cluster.Config{
+		Workers:       urls,
+		ProbePeriod:   25 * time.Millisecond,
+		ProbeTimeout:  2 * time.Second,
+		FailThreshold: 2,
+		RetryAttempts: 2,
+		HedgeDelay:    -1,
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	co, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(co.Close)
+	ts := httptest.NewServer(co.Handler())
+	t.Cleanup(ts.Close)
+	return co, ts, workers
+}
+
+// waitHealthy polls the coordinator until the prober agrees on the healthy
+// worker count.
+func waitHealthy(t *testing.T, co *cluster.Coordinator, want int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if st := co.Stats().Cluster; st.HealthyWorkers == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthy workers never reached %d: %+v", want, co.Stats().Cluster)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func clusterPost(t *testing.T, ts *httptest.Server, path string, body any) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	switch b := body.(type) {
+	case string:
+		rd = strings.NewReader(b)
+	default:
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, data
+}
+
+func clusterDo(t *testing.T, ts *httptest.Server, method, path string, body any) (int, map[string]json.RawMessage) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	fields := map[string]json.RawMessage{}
+	if err := json.Unmarshal(data, &fields); err != nil {
+		t.Fatalf("%s %s: non-JSON response %q", method, path, data)
+	}
+	return resp.StatusCode, fields
+}
+
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: baseline %d, now %d\n%s", baseline, n, buf)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestRingOwnership: consistent-hash stability — when a member leaves, only
+// its keys move; the survivors keep every key they owned. OwnerN returns
+// distinct members in failover order.
+func TestRingOwnership(t *testing.T) {
+	members := []string{"http://a:1", "http://b:2", "http://c:3"}
+	full := cluster.BuildRing(members, 0, 1)
+	reduced := cluster.BuildRing([]string{members[0], members[2]}, 0, 2)
+
+	moved, kept := 0, 0
+	for i := 0; i < 2000; i++ {
+		// Program keys are sha256 hex in production; hash here too so the
+		// sample is uniform over the keyspace.
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		key := fmt.Sprintf("src:%x", sum)
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before == members[1] {
+			if after == members[1] {
+				t.Fatalf("key %s still owned by the removed member", key)
+			}
+			moved++
+			continue
+		}
+		if after != before {
+			t.Fatalf("key %s moved from surviving member %s to %s", key, before, after)
+		}
+		kept++
+	}
+	// ~1/3 of the keyspace belonged to the removed member.
+	if moved < 2000/6 || moved > 2000/2 {
+		t.Fatalf("moved %d of 2000 keys, expected roughly a third", moved)
+	}
+	if kept == 0 {
+		t.Fatal("no keys survived in place")
+	}
+
+	owners := full.OwnerN("sess:x", 3)
+	if len(owners) != 3 {
+		t.Fatalf("OwnerN returned %d owners, want 3", len(owners))
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("OwnerN repeated owner %s: %v", o, owners)
+		}
+		seen[o] = true
+	}
+	if empty := cluster.BuildRing(nil, 0, 3); empty.Owner("k") != "" {
+		t.Fatal("empty ring returned an owner")
+	}
+	if full.Gen() != 1 || reduced.Gen() != 2 {
+		t.Fatalf("generations %d, %d, want 1, 2", full.Gen(), reduced.Gen())
+	}
+}
+
+// TestClusterProxyContract: the coordinator speaks the worker wire contract —
+// same success payloads, same error envelopes (including routing-level
+// 404/405 and the 413 body cap), and its stats expose the per-shard counters.
+func TestClusterProxyContract(t *testing.T) {
+	co, ts, workers := newTestCluster(t, 2, func(c *cluster.Config) { c.MaxBodyBytes = 512 })
+
+	// A worker answers the same request directly; results match modulo the
+	// elapsed-time field.
+	status, body := clusterPost(t, ts, "/v1/analyze", map[string]any{"workload": "mdg"})
+	if status != http.StatusOK {
+		t.Fatalf("analyze via coordinator: %d %s", status, body)
+	}
+	var viaCluster, viaWorker map[string]json.RawMessage
+	json.Unmarshal(body, &viaCluster)
+	resp, err := http.Post(workers[0].URL()+"/v1/analyze", "application/json",
+		strings.NewReader(`{"workload": "mdg"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	json.Unmarshal(direct, &viaWorker)
+	for k, v := range viaWorker {
+		if k == "elapsed_ms" {
+			continue
+		}
+		if string(viaCluster[k]) != string(v) {
+			t.Fatalf("analyze field %q differs between worker and coordinator:\n%s\n%s",
+				k, v, viaCluster[k])
+		}
+	}
+
+	// Worker-origin errors pass through verbatim; coordinator-origin routing
+	// errors use the same envelope.
+	cases := []struct {
+		method, path string
+		body         any
+		want         int
+	}{
+		{"POST", "/v1/analyze", map[string]any{"workload": "no-such"}, http.StatusNotFound},
+		{"POST", "/v1/analyze", `{"source":`, http.StatusBadRequest},
+		{"POST", "/v1/slice", map[string]any{"workload": "mdg", "line": 3}, http.StatusBadRequest},
+		{"GET", "/v1/nope", nil, http.StatusNotFound},
+		{"GET", "/v1/analyze", nil, http.StatusMethodNotAllowed},
+		{"GET", "/v1/batch", nil, http.StatusMethodNotAllowed},
+		{"POST", "/v1/batch", map[string]any{}, http.StatusBadRequest},
+		{"POST", "/v1/analyze", map[string]any{"source": strings.Repeat("C x\n", 400)}, http.StatusRequestEntityTooLarge},
+		{"POST", "/v1/batch", map[string]any{"items": []map[string]any{
+			{"source": strings.Repeat("C x\n", 400)}}}, http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		var status int
+		var fields map[string]json.RawMessage
+		if tc.body == nil {
+			status, fields = clusterDo(t, ts, tc.method, tc.path, nil)
+		} else if raw, ok := tc.body.(string); ok {
+			var data []byte
+			status, data = clusterPost(t, ts, tc.path, raw)
+			fields = map[string]json.RawMessage{}
+			if err := json.Unmarshal(data, &fields); err != nil {
+				t.Fatalf("%s %s: non-JSON error %q", tc.method, tc.path, data)
+			}
+		} else {
+			var data []byte
+			status, data = clusterPost(t, ts, tc.path, tc.body)
+			fields = map[string]json.RawMessage{}
+			if err := json.Unmarshal(data, &fields); err != nil {
+				t.Fatalf("%s %s: non-JSON error %q", tc.method, tc.path, data)
+			}
+		}
+		if status != tc.want {
+			t.Fatalf("%s %s: status %d, want %d (%v)", tc.method, tc.path, status, tc.want, fields)
+		}
+		if _, ok := fields["error"]; !ok {
+			t.Fatalf("%s %s: error response is not the envelope: %v", tc.method, tc.path, fields)
+		}
+	}
+
+	// Tune and profile proxy too.
+	if status, body := clusterPost(t, ts, "/v1/profile", map[string]any{"workload": "mdg"}); status != 200 {
+		t.Fatalf("profile via coordinator: %d %s", status, body)
+	}
+
+	st := co.Stats().Cluster
+	if st.RingGeneration != 1 || st.HealthyWorkers != 2 || st.TotalWorkers != 2 {
+		t.Fatalf("cluster stats = %+v, want gen 1 over 2/2 workers", st)
+	}
+	var requests int64
+	for _, w := range st.Workers {
+		requests += w.Requests
+	}
+	if requests < 3 {
+		t.Fatalf("per-shard request counters = %d total, want >= 3", requests)
+	}
+
+	// GET /v1/stats over the wire exposes the same block.
+	status, fields := clusterDo(t, ts, "GET", "/v1/stats", nil)
+	if status != 200 {
+		t.Fatalf("stats: %d", status)
+	}
+	if _, ok := fields["cluster"]; !ok {
+		t.Fatalf("coordinator stats missing cluster block: %v", fields)
+	}
+}
+
+// TestClusterSessionLifecycle: sessions create through the coordinator with
+// coordinator-assigned ids, stay sticky to their shard for every subroute,
+// and a DELETE unregisters them.
+func TestClusterSessionLifecycle(t *testing.T) {
+	co, ts, _ := newTestCluster(t, 2, nil)
+
+	status, fields := clusterDo(t, ts, "POST", "/v1/session", map[string]any{"workload": "mdg"})
+	if status != http.StatusOK {
+		t.Fatalf("create: %d (%v)", status, fields)
+	}
+	var id string
+	json.Unmarshal(fields["id"], &id)
+	if id == "" {
+		t.Fatalf("no id in %v", fields)
+	}
+	if co.Stats().Cluster.Sessions != 1 {
+		t.Fatalf("registry sessions = %d, want 1", co.Stats().Cluster.Sessions)
+	}
+
+	status, fields = clusterDo(t, ts, "POST", "/v1/session/"+id+"/assert",
+		map[string]any{"kind": "private", "loop": "INTERF/1000", "var": "RL"})
+	if status != http.StatusOK {
+		t.Fatalf("assert: %d (%v)", status, fields)
+	}
+	var accepted bool
+	json.Unmarshal(fields["accepted"], &accepted)
+	if !accepted {
+		t.Fatalf("assert rejected via coordinator: %v", fields)
+	}
+	if status, _ := clusterDo(t, ts, "GET", "/v1/session/"+id+"/guru", nil); status != 200 {
+		t.Fatalf("guru: %d", status)
+	}
+	// Unknown subroute and unknown session produce the worker's canonical
+	// envelope through the proxy.
+	if status, _ := clusterDo(t, ts, "GET", "/v1/session/"+id+"/nope", nil); status != http.StatusNotFound {
+		t.Fatalf("unknown subroute: %d, want 404", status)
+	}
+	if status, _ := clusterDo(t, ts, "GET", "/v1/session/ffffffffffffffff", nil); status != http.StatusNotFound {
+		t.Fatalf("unknown session: %d, want 404", status)
+	}
+
+	if status, _ := clusterDo(t, ts, "DELETE", "/v1/session/"+id, nil); status != 200 {
+		t.Fatalf("delete: %d", status)
+	}
+	if co.Stats().Cluster.Sessions != 0 {
+		t.Fatalf("registry sessions = %d after delete, want 0", co.Stats().Cluster.Sessions)
+	}
+}
+
+// TestClusterSessionRebalance is the drain/handoff story: sessions created
+// while a worker is down all land on the survivor; when the worker rejoins,
+// the ring rebalances and every migrated session keeps its id and its
+// asserted dialogue state.
+func TestClusterSessionRebalance(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	co, ts, workers := newTestCluster(t, 2, nil)
+
+	// Take worker 1 down and wait for ejection (ring gen bumps).
+	workers[1].down.Store(true)
+	waitHealthy(t, co, 1)
+
+	// Sessions created now must all land on worker 0 — with an accepted
+	// assertion each, so migration has real state to carry.
+	const sessions = 12
+	ids := make([]string, sessions)
+	guru := make([]map[string]json.RawMessage, sessions)
+	for i := range ids {
+		status, fields := clusterDo(t, ts, "POST", "/v1/session", map[string]any{"workload": "mdg"})
+		if status != http.StatusOK {
+			t.Fatalf("create %d with one worker: %d (%v)", i, status, fields)
+		}
+		json.Unmarshal(fields["id"], &ids[i])
+		status, fields = clusterDo(t, ts, "POST", "/v1/session/"+ids[i]+"/assert",
+			map[string]any{"kind": "private", "loop": "INTERF/1000", "var": "RL"})
+		if status != http.StatusOK {
+			t.Fatalf("assert %d: %d (%v)", i, status, fields)
+		}
+		_, guru[i] = clusterDo(t, ts, "GET", "/v1/session/"+ids[i]+"/guru", nil)
+	}
+
+	// Rejoin: the prober rebuilds the ring and rebalances. With 12 ids,
+	// essentially surely at least one is ring-owned by the returning worker.
+	workers[1].down.Store(false)
+	waitHealthy(t, co, 2)
+	deadline := time.Now().Add(30 * time.Second)
+	for co.Stats().Cluster.SessionsMigrated == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no session migrated after rejoin: %+v", co.Stats().Cluster)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Every session — migrated or not — still answers under its original id
+	// with identical Guru state, and accepts further assertions.
+	for i, id := range ids {
+		var after map[string]json.RawMessage
+		var status int
+		// A rebalance may still be replaying this id; give it a moment.
+		for tries := 0; ; tries++ {
+			status, after = clusterDo(t, ts, "GET", "/v1/session/"+id+"/guru", nil)
+			if status == http.StatusOK || tries > 200 {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if status != http.StatusOK {
+			t.Fatalf("session %d (%s) lost across rebalance: %d (%v)", i, id, status, after)
+		}
+		for _, k := range []string{"coverage", "granularity_ms", "targets"} {
+			if string(guru[i][k]) != string(after[k]) {
+				t.Fatalf("session %d guru %q diverged across migration:\n%s\n%s",
+					i, k, guru[i][k], after[k])
+			}
+		}
+	}
+	st := co.Stats().Cluster
+	if st.SessionsDrained < st.SessionsMigrated || st.SessionsLost > 0 {
+		t.Fatalf("rebalance accounting off: %+v", st)
+	}
+	if st.RingGeneration < 3 {
+		t.Fatalf("ring generation = %d, want >= 3 (eject + rejoin)", st.RingGeneration)
+	}
+
+	// Tear everything down and assert nothing leaked.
+	ts.CloseClientConnections()
+	ts.Close()
+	co.Close()
+	for _, w := range workers {
+		w.ts.Close()
+		w.srv.Close()
+	}
+	settleGoroutines(t, baseline)
+}
+
+// batchManifest is the shared manifest for the equivalence tests: workloads
+// and inline sources, including an unnamed one (its default name depends on
+// the manifest index — a cluster must preserve it).
+func batchManifest() map[string]any {
+	inline := "      PROGRAM p\n      INTEGER i\n      REAL a(50)\n      DO 10 i = 1, 50\n        a(i) = 0.0\n10    CONTINUE\n      END\n"
+	return map[string]any{"items": []map[string]any{
+		{"workload": "mdg"},
+		{"name": "named-inline", "source": inline},
+		{"source": inline},
+		{"workload": "mdg", "name": "mdg-again"},
+	}}
+}
+
+// TestClusterBatchEquivalence: the acceptance criterion — a 2-worker cluster
+// batch is byte-identical to the same manifest on a bare worker, including
+// with a worker lost mid-flight (items fail over to the survivor).
+func TestClusterBatchEquivalence(t *testing.T) {
+	// Single-node baseline from a bare worker.
+	single := newGatedWorker(t, server.Config{})
+	resp, err := http.Post(single.URL()+"/v1/batch", "application/json",
+		bytes.NewReader(mustJSON(t, batchManifest())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline batch: %d %s", resp.StatusCode, baseline)
+	}
+
+	co, ts, workers := newTestCluster(t, 2, nil)
+	status, got := clusterPost(t, ts, "/v1/batch", batchManifest())
+	if status != http.StatusOK {
+		t.Fatalf("cluster batch: %d %s", status, got)
+	}
+	if !bytes.Equal(got, baseline) {
+		t.Fatalf("cluster batch diverges from single-node run:\n--- single\n%s\n--- cluster\n%s", baseline, got)
+	}
+
+	// Kill a worker without waiting for the prober: the coordinator still
+	// believes it healthy, so its items hit the gate, exhaust retries, and
+	// fail over to the survivor — the stream must not change.
+	workers[1].down.Store(true)
+	status, got = clusterPost(t, ts, "/v1/batch", batchManifest())
+	if status != http.StatusOK {
+		t.Fatalf("cluster batch with dead worker: %d %s", status, got)
+	}
+	if !bytes.Equal(got, baseline) {
+		t.Fatalf("batch after worker kill diverges:\n--- single\n%s\n--- cluster\n%s", baseline, got)
+	}
+	st := co.Stats().Cluster
+	if st.BatchItems < 8 {
+		t.Fatalf("batch_items = %d, want >= 8 (two 4-item batches)", st.BatchItems)
+	}
+	if st.BatchFailures != 0 {
+		t.Fatalf("batch_failures = %d, want 0 (failover must hide the outage)", st.BatchFailures)
+	}
+}
+
+// TestClusterBatchPartialFailure: per-item errors are deterministic worker
+// verdicts — never retried, surfaced in the stream and the failure counters.
+func TestClusterBatchPartialFailure(t *testing.T) {
+	co, ts, workers := newTestCluster(t, 2, nil)
+	status, raw := clusterPost(t, ts, "/v1/batch", map[string]any{"items": []map[string]any{
+		{"name": "bad", "source": "NOT MINIF(("},
+		{"workload": "mdg"},
+	}})
+	if status != http.StatusOK {
+		t.Fatalf("batch: %d %s", status, raw)
+	}
+	lines := splitNDJSON(raw)
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3: %s", len(lines), raw)
+	}
+	var bad server.BatchItemResult
+	json.Unmarshal([]byte(lines[0]), &bad)
+	if bad.Status != "error" || bad.HTTPStatus != http.StatusUnprocessableEntity {
+		t.Fatalf("bad record = %+v, want the worker's 422 verdict", bad)
+	}
+	var sum server.BatchSummary
+	json.Unmarshal([]byte(lines[2]), &sum)
+	if sum.Total != 2 || sum.OK != 1 || sum.Failed != 1 {
+		t.Fatalf("trailer = %+v, want 2/1/1", sum)
+	}
+	if co.Stats().Cluster.BatchFailures != 1 {
+		t.Fatalf("batch_failures = %d, want 1", co.Stats().Cluster.BatchFailures)
+	}
+
+	// With the whole fleet dead, every item is a synthesized 502 record and
+	// the trailer still accounts for all of them.
+	for _, w := range workers {
+		w.down.Store(true)
+	}
+	status, raw = clusterPost(t, ts, "/v1/batch", map[string]any{"items": []map[string]any{
+		{"workload": "mdg"}, {"workload": "mdg", "name": "two"},
+	}})
+	if status != http.StatusOK {
+		t.Fatalf("batch with dead fleet: %d %s", status, raw)
+	}
+	lines = splitNDJSON(raw)
+	for _, l := range lines[:len(lines)-1] {
+		var rec server.BatchItemResult
+		json.Unmarshal([]byte(l), &rec)
+		if rec.Status != "error" || rec.HTTPStatus != http.StatusBadGateway ||
+			!strings.Contains(rec.Error, "no worker could analyze item") {
+			t.Fatalf("dead-fleet record = %+v, want synthesized 502", rec)
+		}
+	}
+	json.Unmarshal([]byte(lines[len(lines)-1]), &sum)
+	if sum.Total != 2 || sum.Failed != 2 {
+		t.Fatalf("dead-fleet trailer = %+v, want 2 failed", sum)
+	}
+}
+
+// TestClusterHedgedAnalyze: with slow workers and a short hedge delay, the
+// analyze proxy races a second shard and counts the hedge.
+func TestClusterHedgedAnalyze(t *testing.T) {
+	co, ts, workers := newTestCluster(t, 2, func(c *cluster.Config) {
+		c.HedgeDelay = 5 * time.Millisecond
+	})
+	// Warm both caches so the hedged run measures proxying, not analysis.
+	clusterPost(t, ts, "/v1/analyze", map[string]any{"workload": "mdg"})
+	for _, w := range workers {
+		w.delay.Store(int64(150 * time.Millisecond))
+	}
+	status, body := clusterPost(t, ts, "/v1/analyze", map[string]any{"workload": "mdg"})
+	if status != http.StatusOK {
+		t.Fatalf("hedged analyze: %d %s", status, body)
+	}
+	var hedges int64
+	for _, w := range co.Stats().Cluster.Workers {
+		hedges += w.Hedges
+	}
+	if hedges < 1 {
+		t.Fatalf("hedge counter = %d, want >= 1", hedges)
+	}
+}
+
+// TestClusterNoHealthyWorkers: a fully dead fleet is an honest 503 on every
+// routed endpoint once the prober has seen it.
+func TestClusterNoHealthyWorkers(t *testing.T) {
+	co, ts, workers := newTestCluster(t, 2, nil)
+	for _, w := range workers {
+		w.down.Store(true)
+	}
+	waitHealthy(t, co, 0)
+
+	for _, probe := range []func() (int, []byte){
+		func() (int, []byte) { return clusterPost(t, ts, "/v1/analyze", map[string]any{"workload": "mdg"}) },
+		func() (int, []byte) { return clusterPost(t, ts, "/v1/session", map[string]any{"workload": "mdg"}) },
+	} {
+		status, body := probe()
+		if status != http.StatusServiceUnavailable || !strings.Contains(string(body), "no healthy workers") {
+			t.Fatalf("dead fleet: %d %s, want 503 no healthy workers", status, body)
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func splitNDJSON(raw []byte) []string {
+	var lines []string
+	for _, l := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if l != "" {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}

@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"suifx/internal/server"
+	"suifx/internal/session"
+)
+
+// probeLoop is the heartbeat: every ProbePeriod each worker's /v1/stats is
+// probed directly (single attempt, no retries — the retry budget belongs to
+// real requests). FailThreshold consecutive failures eject a worker from the
+// ring; the next successful probe rejoins it. Every membership change bumps
+// the ring generation and rebalances sessions onto their new ring owners via
+// the drain protocol.
+func (c *Coordinator) probeLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.ProbePeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			if c.probeOnce() {
+				c.rebuildRing()
+				c.rebalance()
+			}
+		}
+	}
+}
+
+// probeOnce probes every shard and returns whether membership changed. It
+// runs only on the prober goroutine (shard.fails is unsynchronized by
+// design).
+func (c *Coordinator) probeOnce() (changed bool) {
+	for _, u := range c.order {
+		sh := c.shards[u]
+		ok := c.probe(sh)
+		switch {
+		case ok && !sh.healthy.Load():
+			sh.fails = 0
+			sh.healthy.Store(true)
+			changed = true
+		case ok:
+			sh.fails = 0
+		default:
+			sh.fails++
+			if sh.fails >= c.cfg.FailThreshold && sh.healthy.Load() {
+				sh.healthy.Store(false)
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func (c *Coordinator) probe(sh *shard) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.url+"/v1/stats", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// rebuildRing recomputes the ring over the currently healthy members.
+func (c *Coordinator) rebuildRing() {
+	var healthy []string
+	for _, u := range c.order {
+		if c.shards[u].healthy.Load() {
+			healthy = append(healthy, u)
+		}
+	}
+	gen := c.gen.Add(1)
+	c.ring.Store(BuildRing(healthy, c.cfg.Replicas, gen))
+}
+
+// rebalance moves sessions whose registry host no longer matches their ring
+// owner: drain the old host (serializing each session's source, options and
+// accepted-assertion script) and replay each export on its new owner. A
+// session on an unreachable host stays registered — if the worker comes
+// back, a later rebalance migrates it; if not, requests fail with an honest
+// 503 rather than silently losing the dialogue.
+func (c *Coordinator) rebalance() {
+	snapshot := c.regSnapshot()
+	ring := c.ring.Load()
+
+	// Group movers by their current host so each host drains once.
+	moves := map[string][]string{}
+	for id, host := range snapshot {
+		want := ring.Owner(sessionKey(id))
+		if want == "" || want == host {
+			continue
+		}
+		if sh := c.shards[host]; sh == nil || !sh.healthy.Load() {
+			continue // host unreachable: nothing to drain from
+		}
+		moves[host] = append(moves[host], id)
+	}
+
+	for host, ids := range moves {
+		exports, err := c.drainFrom(host, ids)
+		if err != nil {
+			continue // host died mid-rebalance; the next cycle retries
+		}
+		for _, ex := range exports {
+			c.sessionsDrained.Add(1)
+			if err := c.replay(ex); err != nil {
+				c.sessionsLost.Add(1)
+				c.regDelete(ex.ID)
+			} else {
+				c.sessionsMigrated.Add(1)
+			}
+		}
+	}
+}
+
+func (c *Coordinator) drainFrom(host string, ids []string) ([]session.Export, error) {
+	sh := c.shards[host]
+	body, err := json.Marshal(server.DrainRequest{IDs: ids})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resp, err := sh.do(ctx, http.MethodPost, "/v1/drain", body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("drain %s: status %s", host, resp.Status)
+	}
+	var dr server.DrainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		return nil, err
+	}
+	// Ids the host no longer had (expired, evicted) are gone for good.
+	for _, id := range dr.Missing {
+		c.regDelete(id)
+		c.sessionsLost.Add(1)
+	}
+	return dr.Sessions, nil
+}
+
+// replay recreates one drained session on its current ring owner.
+func (c *Coordinator) replay(ex session.Export) error {
+	owners := c.healthyOwners(sessionKey(ex.ID), 1)
+	if len(owners) == 0 {
+		return fmt.Errorf("no healthy owner for session %s", ex.ID)
+	}
+	sh := owners[0]
+	req := server.SessionCreateRequest{
+		SourceRef:    server.SourceRef{Name: ex.Name, Source: ex.Source},
+		Workers:      ex.Workers,
+		NoReductions: ex.NoReductions,
+		NoLiveness:   ex.NoLiveness,
+		MaxOps:       ex.MaxOps,
+		ID:           ex.ID,
+		Resume:       ex.Asserts,
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	resp, err := sh.do(ctx, http.MethodPost, "/v1/session", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("replay on %s: status %s: %s", sh.url, resp.Status, bytes.TrimSpace(msg))
+	}
+	c.regSet(ex.ID, sh.url)
+	return nil
+}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"suifx/internal/httpretry"
+)
+
+// DefaultMaxConnsPerShard bounds concurrent in-flight requests per worker.
+const DefaultMaxConnsPerShard = 8
+
+// shard is one worker backend: its URL, a bounded in-flight semaphore (the
+// connection pool), the retrying HTTP client, and the per-shard counters
+// surfaced in coordinator /v1/stats.
+type shard struct {
+	url string
+	sem chan struct{}
+	rc  *httpretry.Client
+
+	healthy atomic.Bool
+	fails   int // consecutive probe failures; prober goroutine only
+
+	requests atomic.Int64
+	errors   atomic.Int64
+	retries  atomic.Int64
+	hedges   atomic.Int64
+}
+
+func newShard(url string, maxConns int, hc *http.Client, attempts int) *shard {
+	if maxConns <= 0 {
+		maxConns = DefaultMaxConnsPerShard
+	}
+	sh := &shard{url: url, sem: make(chan struct{}, maxConns)}
+	sh.healthy.Store(true)
+	sh.rc = &httpretry.Client{
+		HC:       hc,
+		Attempts: attempts,
+		OnRetry:  func(int, error) { sh.retries.Add(1) },
+	}
+	return sh
+}
+
+// do forwards method+path(+rawQuery) with the given body to this shard,
+// holding one pool slot until the response body is closed. Transport-level
+// retries happen inside; a returned error means the shard is not answering.
+func (sh *shard) do(ctx context.Context, method, pathAndQuery string, body []byte) (*http.Response, error) {
+	select {
+	case sh.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	release := func() { <-sh.sem }
+
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, sh.url+pathAndQuery, rd)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	sh.requests.Add(1)
+	resp, err := sh.rc.Do(req)
+	if err != nil {
+		release()
+		sh.errors.Add(1)
+		return nil, err
+	}
+	resp.Body = &releaseBody{ReadCloser: resp.Body, release: release}
+	return resp, nil
+}
+
+// releaseBody returns the shard's pool slot exactly once, when the response
+// body is closed.
+type releaseBody struct {
+	io.ReadCloser
+	release func()
+	once    sync.Once
+}
+
+func (rb *releaseBody) Close() error {
+	err := rb.ReadCloser.Close()
+	rb.once.Do(rb.release)
+	return err
+}

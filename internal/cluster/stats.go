@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"net/http"
+	"time"
+
+	"suifx/internal/server"
+)
+
+// --- GET /v1/stats (coordinator) ---
+
+// WorkerStats is one shard's counters as seen from the coordinator.
+type WorkerStats struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Requests counts forwarded calls; Errors, exhausted-retry failures;
+	// Retries, individual transient re-attempts; Hedges, hedged analyze
+	// requests fired at this shard.
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	Retries  int64 `json:"retries"`
+	Hedges   int64 `json:"hedges"`
+	// Sessions is how many live sessions the registry places here.
+	Sessions int `json:"sessions"`
+}
+
+// Stats is the coordinator's observability snapshot.
+type Stats struct {
+	RingGeneration uint64 `json:"ring_generation"`
+	HealthyWorkers int    `json:"healthy_workers"`
+	TotalWorkers   int    `json:"total_workers"`
+	// Sessions is the registry size; Drained/Migrated/Lost count rebalance
+	// outcomes (a drained session is either migrated or lost).
+	Sessions         int   `json:"sessions"`
+	SessionsDrained  int64 `json:"sessions_drained"`
+	SessionsMigrated int64 `json:"sessions_migrated"`
+	SessionsLost     int64 `json:"sessions_lost"`
+	// BatchItems counts fanned-out items; BatchRetries, cross-shard failover
+	// attempts; BatchFailures, items that ended as error records.
+	BatchItems    int64         `json:"batch_items"`
+	BatchRetries  int64         `json:"batch_retries"`
+	BatchFailures int64         `json:"batch_failures"`
+	UptimeSec     float64       `json:"uptime_sec"`
+	Workers       []WorkerStats `json:"workers"`
+}
+
+// StatsResponse wraps the cluster block, mirroring the worker's stats
+// envelope style (a top-level keyed object).
+type StatsResponse struct {
+	Cluster Stats `json:"cluster"`
+}
+
+// Stats snapshots the coordinator.
+func (c *Coordinator) Stats() *StatsResponse {
+	perHost := map[string]int{}
+	for _, host := range c.regSnapshot() {
+		perHost[host]++
+	}
+	st := Stats{
+		RingGeneration: c.ring.Load().Gen(),
+		TotalWorkers:   len(c.order),
+		Sessions:       c.regLen(),
+
+		SessionsDrained:  c.sessionsDrained.Load(),
+		SessionsMigrated: c.sessionsMigrated.Load(),
+		SessionsLost:     c.sessionsLost.Load(),
+		BatchItems:       c.batchItems.Load(),
+		BatchRetries:     c.batchRetries.Load(),
+		BatchFailures:    c.batchFailures.Load(),
+		UptimeSec:        time.Since(c.start).Seconds(),
+	}
+	for _, u := range c.order {
+		sh := c.shards[u]
+		healthy := sh.healthy.Load()
+		if healthy {
+			st.HealthyWorkers++
+		}
+		st.Workers = append(st.Workers, WorkerStats{
+			URL:      u,
+			Healthy:  healthy,
+			Requests: sh.requests.Load(),
+			Errors:   sh.errors.Load(),
+			Retries:  sh.retries.Load(),
+			Hedges:   sh.hedges.Load(),
+			Sessions: perHost[u],
+		})
+	}
+	return &StatsResponse{Cluster: st}
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	server.WriteJSON(w, http.StatusOK, c.Stats())
+}

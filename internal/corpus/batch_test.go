@@ -1,0 +1,113 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBatchItemKindValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		item    BatchItem
+		kind    string
+		wantErr string
+	}{
+		{"workload", BatchItem{Workload: "mdg"}, "workload", ""},
+		{"tier", BatchItem{Tier: "1k"}, "tier", ""},
+		{"corpus", BatchItem{Seed: 7, Config: &Config{}}, "corpus", ""},
+		{"source", BatchItem{Source: "      PROGRAM t\n      END\n"}, "source", ""},
+		{"empty", BatchItem{}, "", "needs one of"},
+		{"ambiguous", BatchItem{Name: "x", Workload: "mdg", Tier: "1k"}, "workload", "ambiguous"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.item.Kind(); got != tc.kind {
+				t.Fatalf("Kind() = %q, want %q", got, tc.kind)
+			}
+			err := tc.item.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+			} else if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestBatchItemResolveDeterministic(t *testing.T) {
+	it := BatchItem{Tier: QuickLadder()[0].Name}
+	name1, src1, err := it.Resolve()
+	if err != nil || src1 == "" {
+		t.Fatalf("Resolve: %v", err)
+	}
+	name2, src2, _ := it.Resolve()
+	if name1 != name2 || src1 != src2 {
+		t.Fatal("tier resolution not deterministic")
+	}
+
+	if _, _, err := (BatchItem{Tier: "no-such"}).Resolve(); err == nil {
+		t.Fatal("unknown tier resolved")
+	}
+	// A custom name overrides the generated one.
+	named := BatchItem{Name: "custom", Tier: QuickLadder()[0].Name}
+	if n, _, _ := named.Resolve(); n != "custom" {
+		t.Fatalf("named tier resolved to %q", n)
+	}
+}
+
+func TestExpandLadder(t *testing.T) {
+	for _, name := range []string{"quick", "size", "full"} {
+		items, err := ExpandLadder(name)
+		if err != nil || len(items) == 0 {
+			t.Fatalf("ExpandLadder(%q): %v (%d items)", name, err, len(items))
+		}
+		for _, it := range items {
+			if it.Kind() != "tier" {
+				t.Fatalf("ladder %q expanded to non-tier item %+v", name, it)
+			}
+		}
+	}
+	if _, err := ExpandLadder("sideways"); err == nil {
+		t.Fatal("unknown ladder expanded")
+	}
+}
+
+func TestNormalizeBatch(t *testing.T) {
+	// Ladder tiers prepend to explicit items.
+	items, err := NormalizeBatch("quick", []BatchItem{{Workload: "mdg"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(QuickLadder())+1 {
+		t.Fatalf("got %d items, want %d", len(items), len(QuickLadder())+1)
+	}
+	if items[len(items)-1].Workload != "mdg" {
+		t.Fatalf("explicit item not last: %+v", items)
+	}
+
+	if _, err := NormalizeBatch("", nil); err == nil {
+		t.Fatal("empty manifest accepted")
+	}
+	if _, err := NormalizeBatch("", []BatchItem{{}}); err == nil ||
+		!strings.Contains(err.Error(), "item 0") {
+		t.Fatalf("invalid item error %v does not name the index", err)
+	}
+}
+
+func TestDecodeBatchManifest(t *testing.T) {
+	// Object form.
+	items, err := DecodeBatchManifest([]byte(`{"ladder": "quick"}`))
+	if err != nil || len(items) != len(QuickLadder()) {
+		t.Fatalf("object manifest: %v (%d items)", err, len(items))
+	}
+	// Bare-list form.
+	items, err = DecodeBatchManifest([]byte(`[{"workload": "mdg"}, {"tier": "1k"}]`))
+	if err != nil || len(items) != 2 {
+		t.Fatalf("bare-list manifest: %v (%d items)", err, len(items))
+	}
+	if _, err := DecodeBatchManifest([]byte(`{nope`)); err == nil {
+		t.Fatal("malformed manifest decoded")
+	}
+}

@@ -1,0 +1,190 @@
+// Package httpretry is the shared retry discipline for every HTTP client in
+// the system — the explorer's -connect mode, suifpar's remote mode, and the
+// cluster coordinator's per-shard proxies. A transient failure (refused or
+// reset connection, a shed 429, a 502/503 from a worker mid-restart) is
+// retried with jittered exponential backoff up to a small attempt cap; the
+// final error names every attempt so a dead server fails fast with a clear
+// message instead of a bare "connection refused".
+package httpretry
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Defaults for the zero Client.
+const (
+	DefaultAttempts  = 3
+	DefaultBaseDelay = 50 * time.Millisecond
+	DefaultMaxDelay  = 1 * time.Second
+)
+
+// Client wraps an http.Client with transient-failure retries. The zero value
+// is usable: http.DefaultClient, 3 attempts, 50ms base backoff.
+type Client struct {
+	// HC is the underlying client (default http.DefaultClient).
+	HC *http.Client
+	// Attempts is the total number of tries, not re-tries (default 3).
+	Attempts int
+	// BaseDelay is the first backoff; each retry doubles it, jittered
+	// uniformly in [delay/2, delay), and capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 1s).
+	MaxDelay time.Duration
+	// RetryStatuses are response codes treated as transient on top of
+	// transport errors (default 429, 502, 503).
+	RetryStatuses []int
+	// OnRetry, when set, observes every abandoned attempt before the backoff
+	// sleep (cluster counters hook in here).
+	OnRetry func(attempt int, err error)
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (c *Client) hc() *http.Client {
+	if c.HC != nil {
+		return c.HC
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) attempts() int {
+	if c.Attempts > 0 {
+		return c.Attempts
+	}
+	return DefaultAttempts
+}
+
+func (c *Client) retryStatus(code int) bool {
+	if c.RetryStatuses == nil {
+		return code == http.StatusTooManyRequests ||
+			code == http.StatusBadGateway || code == http.StatusServiceUnavailable
+	}
+	for _, s := range c.RetryStatuses {
+		if s == code {
+			return true
+		}
+	}
+	return false
+}
+
+// jitter returns a uniformly jittered delay in [d/2, d).
+func (c *Client) jitter(d time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	half := int64(d) / 2
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + c.rng.Int63n(half))
+}
+
+// Transient reports whether an error from http.Client.Do looks like a
+// connection-level failure worth retrying: refused/reset dials, timeouts,
+// and unexpected EOFs from a worker dying mid-response. Context ends are
+// never transient — the caller gave up, not the network.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) {
+		return true
+	}
+	// url.Error wrapping a closed-connection race surfaces as a string-only
+	// error on some platforms; match the two canonical spellings.
+	msg := err.Error()
+	return strings.Contains(msg, "connection refused") ||
+		strings.Contains(msg, "connection reset") ||
+		strings.Contains(msg, "EOF")
+}
+
+// Do issues the request, retrying transient failures with jittered backoff.
+// The request body, when present, must be rewindable via req.GetBody (true
+// for bytes.Reader/bytes.Buffer/strings.Reader bodies built by
+// http.NewRequest). On success the response body is the caller's to close;
+// retried responses are drained and closed here.
+func (c *Client) Do(req *http.Request) (*http.Response, error) {
+	attempts := c.attempts()
+	delay := c.BaseDelay
+	if delay <= 0 {
+		delay = DefaultBaseDelay
+	}
+	maxDelay := c.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = DefaultMaxDelay
+	}
+
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		r := req
+		if attempt > 1 && req.GetBody != nil {
+			body, err := req.GetBody()
+			if err != nil {
+				return nil, err
+			}
+			r = req.Clone(req.Context())
+			r.Body = body
+		}
+		resp, err := c.hc().Do(r)
+		switch {
+		case err == nil && !c.retryStatus(resp.StatusCode):
+			return resp, nil
+		case err == nil:
+			// Transient status: consume the body so the connection is reused.
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("%s %s: transient status %s", req.Method, req.URL.Path, resp.Status)
+		case Transient(err):
+			lastErr = err
+		default:
+			return nil, err
+		}
+		if attempt >= attempts {
+			return nil, fmt.Errorf("%s %s failed after %d attempts: %w",
+				req.Method, req.URL.Redacted(), attempts, lastErr)
+		}
+		if c.OnRetry != nil {
+			c.OnRetry(attempt, lastErr)
+		}
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(c.jitter(delay)):
+		}
+		delay *= 2
+		if delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+}
+
+// PostJSON is the common call shape: POST pre-marshalled JSON and return the
+// response (retried per the client's policy).
+func (c *Client) PostJSON(ctx context.Context, url string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.Do(req)
+}

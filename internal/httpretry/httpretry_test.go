@@ -1,0 +1,181 @@
+package httpretry
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastClient keeps test backoffs in the microsecond range.
+func fastClient() *Client {
+	return &Client{BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+}
+
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"context canceled", context.Canceled, false},
+		{"deadline exceeded", context.DeadlineExceeded, false},
+		{"net timeout", &net.DNSError{IsTimeout: true}, true},
+		{"unexpected EOF", io.ErrUnexpectedEOF, true},
+		{"plain EOF", io.EOF, true},
+		{"refused string", errors.New(`Post "http://x": dial tcp: connection refused`), true},
+		{"reset string", errors.New("read: connection reset by peer"), true},
+		{"ordinary error", errors.New("no such host in my heart"), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Transient(tc.err); got != tc.want {
+				t.Fatalf("Transient(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDoRetriesTransientStatus: 503 twice then 200 succeeds within the
+// 3-attempt budget, the body is rewound for every retry, and OnRetry sees
+// each abandoned attempt.
+func TestDoRetriesTransientStatus(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if string(body) != `{"x":1}` {
+			t.Errorf("attempt %d saw body %q (rewind broken)", hits.Load()+1, body)
+		}
+		if hits.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	c := fastClient()
+	var retries []int
+	c.OnRetry = func(attempt int, err error) { retries = append(retries, attempt) }
+	resp, err := c.PostJSON(context.Background(), ts.URL, []byte(`{"x":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server saw %d attempts, want 3", hits.Load())
+	}
+	if len(retries) != 2 || retries[0] != 1 || retries[1] != 2 {
+		t.Fatalf("OnRetry attempts = %v, want [1 2]", retries)
+	}
+}
+
+// TestDoAttemptsExhausted: an always-503 server fails after exactly the
+// attempt cap with a final error naming the attempt count.
+func TestDoAttemptsExhausted(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := fastClient()
+	_, err := c.PostJSON(context.Background(), ts.URL, []byte(`{}`))
+	if err == nil {
+		t.Fatal("exhausted retries returned no error")
+	}
+	if hits.Load() != DefaultAttempts {
+		t.Fatalf("server saw %d attempts, want %d", hits.Load(), DefaultAttempts)
+	}
+	if !strings.Contains(err.Error(), "failed after 3 attempts") {
+		t.Fatalf("final error %q does not name the attempt budget", err)
+	}
+}
+
+// TestDoConnectionRefused: a dead address is transient — retried, then
+// surfaced with the attempt count rather than a bare dial error.
+func TestDoConnectionRefused(t *testing.T) {
+	// Bind-then-close guarantees an unused port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + ln.Addr().String()
+	ln.Close()
+
+	c := fastClient()
+	var retried atomic.Int64
+	c.OnRetry = func(int, error) { retried.Add(1) }
+	if _, err := c.PostJSON(context.Background(), url, []byte(`{}`)); err == nil {
+		t.Fatal("dead server returned no error")
+	}
+	if retried.Load() != DefaultAttempts-1 {
+		t.Fatalf("retried %d times, want %d", retried.Load(), DefaultAttempts-1)
+	}
+}
+
+// TestDoNoRetryOnClientError: a 4xx is a deterministic answer, returned
+// verbatim on the first attempt.
+func TestDoNoRetryOnClientError(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+	}))
+	defer ts.Close()
+
+	c := fastClient()
+	resp, err := c.PostJSON(context.Background(), ts.URL, []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity || hits.Load() != 1 {
+		t.Fatalf("status %d after %d attempts, want one 422", resp.StatusCode, hits.Load())
+	}
+}
+
+// TestDoContextCancelStopsBackoff: a cancelled context ends the retry loop
+// during the backoff sleep instead of burning the budget.
+func TestDoContextCancelStopsBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := &Client{BaseDelay: time.Hour, Attempts: 3}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.PostJSON(ctx, ts.URL, []byte(`{}`))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancel took %v to land (backoff not interruptible)", d)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	c := &Client{}
+	for i := 0; i < 100; i++ {
+		d := c.jitter(100 * time.Millisecond)
+		if d < 50*time.Millisecond || d >= 100*time.Millisecond {
+			t.Fatalf("jitter(100ms) = %v, want [50ms, 100ms)", d)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package lin
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // A Constraint is the inequality Expr >= 0.
@@ -55,12 +56,15 @@ type System struct {
 	// Containment tests re-query emptiness of the same unchanged system many
 	// times (once per candidate polyhedron in a section), so the cache turns
 	// repeated Fourier–Motzkin runs into one. Every in-package mutation of
-	// Cons resets it.
-	empt int8
+	// Cons resets it. Atomic because finished systems are shared read-only
+	// across concurrent analyses (the summary cache), and the lazy memo write
+	// is the one mutation that survives construction; racing fills are
+	// idempotent — emptiness is a pure function of Cons.
+	empt atomic.Int32
 }
 
 const (
-	emptUnknown int8 = iota
+	emptUnknown int32 = iota
 	emptEmpty
 	emptNonEmpty
 )
@@ -74,7 +78,8 @@ func NewSystem() *System { return &System{} }
 // copy. The emptiness cache carries over — the clone has the identical
 // constraint set.
 func (s *System) Clone() *System {
-	out := &System{Cons: make([]Constraint, len(s.Cons)), empt: s.empt}
+	out := &System{Cons: make([]Constraint, len(s.Cons))}
+	out.empt.Store(s.empt.Load())
 	copy(out.Cons, s.Cons)
 	return out
 }
@@ -82,7 +87,7 @@ func (s *System) Clone() *System {
 // AddGE adds the constraint e >= 0 and returns s for chaining.
 func (s *System) AddGE(e Expr) *System {
 	s.Cons = append(s.Cons, Constraint{e}.normalize())
-	s.empt = emptUnknown
+	s.empt.Store(emptUnknown)
 	return s
 }
 
@@ -211,14 +216,14 @@ func (s *System) IsEmpty() bool {
 	if s == nil {
 		return true
 	}
-	if s.empt != emptUnknown {
-		return s.empt == emptEmpty
+	if e := s.empt.Load(); e != emptUnknown {
+		return e == emptEmpty
 	}
 	empty := s.isEmptySlow()
 	if empty {
-		s.empt = emptEmpty
+		s.empt.Store(emptEmpty)
 	} else {
-		s.empt = emptNonEmpty
+		s.empt.Store(emptNonEmpty)
 	}
 	return empty
 }

@@ -126,14 +126,20 @@ func (s *Server) handleAnalyze(ctx context.Context, r *http.Request) (any, error
 	if err := s.decodeJSON(r, &req); err != nil {
 		return nil, err
 	}
+	return s.analyzeResponse(ctx, req.SourceRef, req.Workers, req.NoReductions, req.Liveness)
+}
+
+// analyzeResponse is the shared /v1/analyze body, also run per batch item:
+// cached analysis plus the parallelization pass, rendered to the wire shape.
+func (s *Server) analyzeResponse(ctx context.Context, sr SourceRef, workers int, noReductions, useLiveness bool) (*AnalyzeResponse, error) {
 	start := time.Now()
-	res, err := s.analyze(ctx, req.SourceRef, req.Workers)
+	res, err := s.analyze(ctx, sr, workers)
 	if err != nil {
 		return nil, err
 	}
 
-	cfg := parallel.Config{UseReductions: !req.NoReductions}
-	if req.Liveness {
+	cfg := parallel.Config{UseReductions: !noReductions}
+	if useLiveness {
 		cfg.DeadAtExit = liveness.Analyze(res.Sum, liveness.Full).Oracle()
 	}
 	par := parallel.ParallelizeWith(res.Sum, cfg)

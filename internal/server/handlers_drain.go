@@ -1,0 +1,45 @@
+package server
+
+import (
+	"context"
+	"net/http"
+
+	"suifx/internal/session"
+)
+
+// --- POST /v1/drain ---
+
+// DrainRequest asks the worker to serialize and release sessions: the named
+// ids, or everything live when All is set (graceful worker retirement). The
+// coordinator calls this during hash-ring rebalances and replays the exports
+// on each session's new owner.
+type DrainRequest struct {
+	IDs []string `json:"ids,omitempty"`
+	All bool     `json:"all,omitempty"`
+}
+
+// DrainResponse carries the drained sessions' replayable exports. Missing
+// lists requested ids that were not live here (already expired or drained) —
+// not an error, since drains race evictions by design.
+type DrainResponse struct {
+	Sessions []session.Export `json:"sessions"`
+	Missing  []string         `json:"missing,omitempty"`
+}
+
+func (s *Server) handleDrain(ctx context.Context, r *http.Request) (any, error) {
+	var req DrainRequest
+	if err := s.decodeJSON(r, &req); err != nil {
+		return nil, err
+	}
+	ids := req.IDs
+	if req.All {
+		ids = s.sessions.IDs()
+	} else if len(ids) == 0 {
+		return nil, errf(http.StatusBadRequest, `drain needs a non-empty "ids" list or "all": true`)
+	}
+	exports, missing := s.sessions.Drain(ids)
+	if exports == nil {
+		exports = []session.Export{}
+	}
+	return &DrainResponse{Sessions: exports, Missing: missing}, nil
+}

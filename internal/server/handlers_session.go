@@ -25,6 +25,13 @@ type SessionCreateRequest struct {
 	NoLiveness   bool `json:"no_liveness,omitempty"`
 	// MaxOps bounds the profiling run (default 200M virtual operations).
 	MaxOps int64 `json:"max_ops,omitempty"`
+	// ID pins the session id instead of letting the worker generate one —
+	// the cluster coordinator assigns ids up front so the hash ring can
+	// route them. A live duplicate is a 409.
+	ID string `json:"id,omitempty"`
+	// Resume replays a drained peer session's accepted-assertion script after
+	// creation (the drain/handoff protocol). Requires ID.
+	Resume []session.AssertRecord `json:"resume,omitempty"`
 }
 
 // SessionCreateResponse returns the new session and its initial Guru view.
@@ -43,19 +50,63 @@ func (s *Server) handleSessionCreate(ctx context.Context, r *http.Request) (any,
 	if err != nil {
 		return nil, err
 	}
-	sess, err := s.sessions.Create(ctx, name, src, session.Options{
+	if err := validateSessionID(req.ID); err != nil {
+		return nil, err
+	}
+	opts := session.Options{
 		NoReductions: req.NoReductions,
 		NoLiveness:   req.NoLiveness,
 		MaxOps:       req.MaxOps,
 		Workers:      req.Workers,
-	})
+		ID:           req.ID,
+	}
+	var sess *session.Session
+	if len(req.Resume) > 0 {
+		if req.ID == "" {
+			return nil, errf(http.StatusBadRequest, `"resume" requires "id"`)
+		}
+		sess, err = s.sessions.Import(ctx, session.Export{
+			ID:           req.ID,
+			Name:         name,
+			Source:       src,
+			NoReductions: req.NoReductions,
+			NoLiveness:   req.NoLiveness,
+			MaxOps:       req.MaxOps,
+			Workers:      req.Workers,
+			Asserts:      req.Resume,
+		})
+	} else {
+		sess, err = s.sessions.Create(ctx, name, src, opts)
+	}
 	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			return nil, err
+		case errors.Is(err, session.ErrDuplicateID):
+			return nil, errf(http.StatusConflict, "%v", err)
 		}
 		return nil, errf(http.StatusUnprocessableEntity, "%v", err)
 	}
 	return &SessionCreateResponse{ID: sess.ID(), Info: sess.Info(), Guru: sess.Guru()}, nil
+}
+
+// validateSessionID bounds client-pinned ids: they travel in URL paths, so
+// keep them short and unambiguous.
+func validateSessionID(id string) error {
+	if id == "" {
+		return nil
+	}
+	if len(id) > 64 {
+		return errf(http.StatusBadRequest, "session id longer than 64 bytes")
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			return errf(http.StatusBadRequest, "session id %q: only [A-Za-z0-9_-] allowed", id)
+		}
+	}
+	return nil
 }
 
 // session resolves the {id} path segment to a live session or a 404.

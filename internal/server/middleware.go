@@ -143,6 +143,49 @@ func (s *Server) endpoint(name string, heavy bool, h apiHandler) http.Handler {
 	})
 }
 
+// streamHandler writes its own response body (the NDJSON batch stream). A
+// returned error must precede the first body write; the middleware renders it
+// in the usual JSON envelope.
+type streamHandler func(ctx context.Context, w http.ResponseWriter, r *http.Request) error
+
+// streamEndpoint is the endpoint middleware for streaming handlers: panic
+// recovery, metrics, and one concurrency-semaphore slot held for the whole
+// stream. The per-request timeout deliberately does not apply — a long batch
+// is bounded per item inside the handler, not whole-stream.
+func (s *Server) streamEndpoint(name string, h streamHandler) http.Handler {
+	em := s.m.byName[name]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		status := http.StatusOK
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.m.panics.Add(1)
+				status = http.StatusInternalServerError
+				writeError(w, status, fmt.Sprintf("internal error: %v", rec))
+			}
+			em.observe(time.Since(start), status)
+		}()
+
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			s.m.shed.Add(1)
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+			writeError(w, status, "server at concurrency limit; retry")
+			return
+		}
+		s.m.inflight.Add(1)
+		defer s.m.inflight.Add(-1)
+
+		if err := h(r.Context(), w, r); err != nil {
+			status = statusOf(err)
+			writeError(w, status, err.Error())
+		}
+	})
+}
+
 func statusOf(err error) int {
 	var ae *apiError
 	switch {
@@ -172,7 +215,14 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 // decodeJSON reads a size-capped JSON request body. Oversized bodies map to
 // 413, anything unparsable to 400.
 func (s *Server) decodeJSON(r *http.Request, dst any) error {
-	r.Body = http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+	return DecodeJSON(r, s.cfg.MaxBodyBytes, dst)
+}
+
+// DecodeJSON reads a size-capped JSON request body: oversized bodies map to
+// a 413 error, anything unparsable to 400 (statuses carried for StatusOf).
+// Exported so the cluster coordinator shares the worker's decode contract.
+func DecodeJSON(r *http.Request, limit int64, dst any) error {
+	r.Body = http.MaxBytesReader(nil, r.Body, limit)
 	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
@@ -183,3 +233,23 @@ func (s *Server) decodeJSON(r *http.Request, dst any) error {
 	}
 	return nil
 }
+
+// The cluster coordinator serves the same wire contract as a worker without
+// being one; these exports let it reuse the envelope discipline exactly.
+
+// EnvelopeHandler wraps next so even routing-level errors (404/405 from the
+// mux) come back in the JSON error envelope.
+func EnvelopeHandler(next http.Handler) http.Handler { return envelope{next: next} }
+
+// WriteJSON writes an indented JSON response.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
+
+// WriteError writes the {"error", "status"} envelope.
+func WriteError(w http.ResponseWriter, status int, msg string) { writeError(w, status, msg) }
+
+// Errf builds an error carrying an HTTP status (recovered by StatusOf).
+func Errf(status int, format string, args ...any) error { return errf(status, format, args...) }
+
+// StatusOf maps an error to its HTTP status: Errf statuses pass through,
+// context deadline → 504, context cancel → 499, anything else → 500.
+func StatusOf(err error) int { return statusOf(err) }

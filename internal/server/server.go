@@ -113,6 +113,7 @@ func New(cfg Config) *Server {
 		}),
 		sem: make(chan struct{}, cfg.MaxConcurrent),
 		m: newMetrics("analyze", "slice", "profile", "tune", "stats",
+			"batch", "drain",
 			"session_create", "session_get", "session_delete", "session_guru",
 			"session_assert", "session_slice", "session_why", "session_events"),
 		mux:   http.NewServeMux(),
@@ -122,6 +123,8 @@ func New(cfg Config) *Server {
 	s.mux.Handle("POST /v1/slice", s.endpoint("slice", true, s.handleSlice))
 	s.mux.Handle("POST /v1/profile", s.endpoint("profile", true, s.handleProfile))
 	s.mux.Handle("POST /v1/tune", s.endpoint("tune", true, s.handleTune))
+	s.mux.Handle("POST /v1/batch", s.streamEndpoint("batch", s.handleBatch))
+	s.mux.Handle("POST /v1/drain", s.endpoint("drain", false, s.handleDrain))
 	s.mux.Handle("GET /v1/stats", s.endpoint("stats", false, s.handleStats))
 	s.mux.Handle("POST /v1/session", s.endpoint("session_create", true, s.handleSessionCreate))
 	s.mux.Handle("GET /v1/session/{id}", s.endpoint("session_get", false, s.handleSessionGet))

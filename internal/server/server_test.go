@@ -134,7 +134,7 @@ func TestServerEndpointErrors(t *testing.T) {
 func TestServerOversizedSource(t *testing.T) {
 	_, ts := newTestServer(t, Config{MaxBodyBytes: 512})
 	big := map[string]any{"source": strings.Repeat("C comment line\n", 200)}
-	for _, path := range []string{"/v1/analyze", "/v1/slice", "/v1/profile"} {
+	for _, path := range []string{"/v1/analyze", "/v1/slice", "/v1/profile", "/v1/batch", "/v1/drain"} {
 		status, _ := postJSON(t, ts, path, big)
 		if status != http.StatusRequestEntityTooLarge {
 			t.Fatalf("%s oversized body: status = %d, want 413", path, status)

@@ -196,6 +196,19 @@ func TestSessionEndpointErrors(t *testing.T) {
 		{"slice no hit", "POST", "/v1/session/" + id + "/slice",
 			map[string]any{"kind": "program", "proc": "INTERF", "var": "RL", "line": 2}, http.StatusNotFound},
 		{"events bad after", "GET", "/v1/session/" + id + "/events?after=x", nil, http.StatusBadRequest},
+		{"wrong method on batch", "GET", "/v1/batch", nil, http.StatusMethodNotAllowed},
+		{"batch malformed JSON", "POST", "/v1/batch", `{"items":`, http.StatusBadRequest},
+		{"batch empty manifest", "POST", "/v1/batch", map[string]any{}, http.StatusBadRequest},
+		{"batch unknown ladder", "POST", "/v1/batch", map[string]any{"ladder": "sideways"}, http.StatusBadRequest},
+		{"batch ambiguous item", "POST", "/v1/batch",
+			map[string]any{"items": []map[string]any{{"name": "x", "workload": "mdg", "tier": "1k"}}}, http.StatusBadRequest},
+		{"batch unknown workload item", "POST", "/v1/batch",
+			map[string]any{"items": []map[string]any{{"workload": "no-such"}}}, http.StatusNotFound},
+		{"batch unknown tier item", "POST", "/v1/batch",
+			map[string]any{"items": []map[string]any{{"tier": "no-such"}}}, http.StatusNotFound},
+		{"wrong method on drain", "GET", "/v1/drain", nil, http.StatusMethodNotAllowed},
+		{"drain malformed JSON", "POST", "/v1/drain", `[`, http.StatusBadRequest},
+		{"drain empty ids", "POST", "/v1/drain", map[string]any{}, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

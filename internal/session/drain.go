@@ -1,0 +1,127 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrDuplicateID reports a Create with a pinned id that is already live.
+var ErrDuplicateID = errors.New("session id already exists")
+
+// AssertRecord is one accepted assertion in a session's replay script.
+type AssertRecord struct {
+	Kind string `json:"kind"`
+	Loop string `json:"loop"`
+	Var  string `json:"var"`
+}
+
+// Export is the wire form of a drained session: everything a peer worker
+// needs to rebuild an equivalent session — the source program, the creation
+// options, and the accepted-assertion script, replayed in order. Analysis
+// state (summaries, profiles, dependence verdicts) deliberately does NOT
+// cross the wire: it is deterministic from (source, options, asserts), and
+// shipping summaries instead of re-deriving them would couple workers to each
+// other's internal representations.
+type Export struct {
+	ID           string         `json:"id"`
+	Name         string         `json:"name"`
+	Source       string         `json:"source"`
+	NoReductions bool           `json:"no_reductions,omitempty"`
+	NoLiveness   bool           `json:"no_liveness,omitempty"`
+	MaxOps       int64          `json:"max_ops,omitempty"`
+	Workers      int            `json:"workers,omitempty"`
+	Asserts      []AssertRecord `json:"asserts,omitempty"`
+}
+
+// Export snapshots the session's replayable state.
+func (s *Session) Export() Export {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	asserts := make([]AssertRecord, len(s.acceptedLog))
+	copy(asserts, s.acceptedLog)
+	return Export{
+		ID:           s.id,
+		Name:         s.name,
+		Source:       s.src,
+		NoReductions: s.opts.NoReductions,
+		NoLiveness:   s.opts.NoLiveness,
+		MaxOps:       s.opts.MaxOps,
+		Workers:      s.opts.Workers,
+		Asserts:      asserts,
+	}
+}
+
+// Drain removes the named sessions from the table and returns their exports,
+// plus the ids that were not live. Removed sessions stop being routable
+// immediately; in-flight requests holding a *Session finish against the
+// orphaned copy, serialized by the session mutex as usual.
+func (m *Manager) Drain(ids []string) (exports []Export, missing []string) {
+	m.mu.Lock()
+	var victims []*Session
+	for _, id := range ids {
+		s, ok := m.byID[id]
+		if !ok {
+			missing = append(missing, id)
+			continue
+		}
+		m.removeLocked(s)
+		victims = append(victims, s)
+	}
+	m.mu.Unlock()
+
+	// Exports are snapshotted outside the manager lock: the established lock
+	// order is session.mu → manager.mu (see Session.Info), so taking
+	// session.mu under m.mu would invert it.
+	exports = make([]Export, 0, len(victims))
+	for _, s := range victims {
+		exports = append(exports, s.Export())
+		m.drained.Add(1)
+	}
+	return exports, missing
+}
+
+// IDs returns every live session id (unordered).
+func (m *Manager) IDs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.byID))
+	for id := range m.byID {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Import rebuilds a drained session from its export: a Create pinned to the
+// exported id followed by an in-order replay of the accepted assertions. The
+// assertion checker is deterministic, so a replayed accept cannot become a
+// reject; if one does (version-skewed peers), Import fails rather than
+// resuming a session in a divergent state.
+func (m *Manager) Import(ctx context.Context, ex Export) (*Session, error) {
+	s, err := m.Create(ctx, ex.Name, ex.Source, Options{
+		ID:           ex.ID,
+		NoReductions: ex.NoReductions,
+		NoLiveness:   ex.NoLiveness,
+		MaxOps:       ex.MaxOps,
+		Workers:      ex.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, a := range ex.Asserts {
+		out, err := s.Assert(a.Kind, a.Loop, a.Var)
+		if err == nil && !out.Accepted {
+			err = fmt.Errorf("replay rejected: %s (%s)", out.Code, out.Reason)
+		}
+		if err != nil {
+			m.Delete(ex.ID)
+			return nil, fmt.Errorf("session %s: replaying assert %s %s in %s: %w",
+				ex.ID, a.Kind, a.Var, a.Loop, err)
+		}
+	}
+	s.mu.Lock()
+	s.event("imported", fmt.Sprintf("drained from peer with %d replayed asserts", len(ex.Asserts)))
+	s.mu.Unlock()
+	m.imported.Add(1)
+	return s, nil
+}

@@ -93,6 +93,8 @@ type Manager struct {
 	assertsRejected     atomic.Int64
 	summariesRecomputed atomic.Int64
 	summariesReused     atomic.Int64
+	drained             atomic.Int64
+	imported            atomic.Int64
 
 	stop      chan struct{}
 	closeOnce sync.Once
@@ -167,6 +169,11 @@ type Options struct {
 	MaxOps int64
 	// Workers overrides the manager's analysis worker pool for this session.
 	Workers int
+	// ID pins the session id instead of generating one — the cluster
+	// coordinator assigns ids up front so the hash ring can route them, and
+	// drain replay recreates sessions under their original id. Creating a
+	// duplicate id is an error.
+	ID string
 }
 
 // Create parses, analyzes (through the shared content-hash cache, branched
@@ -174,6 +181,14 @@ type Options struct {
 // the new session, evicting the least recently used one if the table is
 // full. The heavy work runs outside the manager lock.
 func (m *Manager) Create(ctx context.Context, name, src string, opts Options) (*Session, error) {
+	if opts.ID != "" {
+		m.mu.Lock()
+		_, dup := m.byID[opts.ID]
+		m.mu.Unlock()
+		if dup {
+			return nil, fmt.Errorf("session id %q: %w", opts.ID, ErrDuplicateID)
+		}
+	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = m.cfg.Workers
@@ -193,12 +208,18 @@ func (m *Manager) Create(ctx context.Context, name, src string, opts Options) (*
 	}
 
 	ex := explorer.NewUnstarted(driver.NewIncrementalFrom(res, driver.Options{Workers: workers}), exOpts)
+	id := opts.ID
+	if id == "" {
+		id = newID()
+	}
 	s := &Session{
-		id:      newID(),
+		id:      id,
 		name:    res.Prog.Name,
 		m:       m,
 		created: m.cfg.now(),
 		ex:      ex,
+		src:     src,
+		opts:    opts,
 	}
 	s.lastUsed = s.created
 	s.event("created", fmt.Sprintf("program %s (%d procedures)", res.Prog.Name, len(res.Prog.Procs)))
@@ -214,6 +235,12 @@ func (m *Manager) Create(ctx context.Context, name, src string, opts Options) (*
 	s.event("profiled", fmt.Sprintf("%d virtual ops", ex.Prof.TotalOps()))
 
 	m.mu.Lock()
+	if _, dup := m.byID[s.id]; dup {
+		// Pinned-id race: a concurrent Create registered the id while the
+		// heavy work above ran outside the lock.
+		m.mu.Unlock()
+		return nil, fmt.Errorf("session id %q: %w", s.id, ErrDuplicateID)
+	}
 	for len(m.byID) >= m.cfg.MaxSessions {
 		victim := m.lru.Back()
 		if victim == nil {
@@ -299,6 +326,10 @@ type Stats struct {
 	// interactive win is Reused ≫ Recomputed.
 	SummariesRecomputed int64 `json:"summaries_recomputed"`
 	SummariesReused     int64 `json:"summaries_reused"`
+	// Drained / Imported count cluster handoffs: sessions serialized out via
+	// /v1/drain and sessions rebuilt here from a peer's export.
+	Drained  int64 `json:"drained"`
+	Imported int64 `json:"imported"`
 }
 
 // Stats returns the counters.
@@ -315,6 +346,8 @@ func (m *Manager) Stats() Stats {
 		AssertsRejected:     m.assertsRejected.Load(),
 		SummariesRecomputed: m.summariesRecomputed.Load(),
 		SummariesReused:     m.summariesReused.Load(),
+		Drained:             m.drained.Load(),
+		Imported:            m.imported.Load(),
 	}
 }
 

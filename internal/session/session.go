@@ -32,6 +32,13 @@ type Session struct {
 	events  []Event
 	nextSeq int64
 	asserts int
+
+	// src and opts are retained (immutable after Create) so a drain can
+	// serialize the session for replay on another worker; acceptedLog is the
+	// mu-guarded replay script of accepted assertions in order.
+	src         string
+	opts        Options
+	acceptedLog []AssertRecord
 }
 
 // ID returns the session's wire identifier.
@@ -232,6 +239,7 @@ func (s *Session) Assert(kind, loopID, varName string) (*AssertOutcome, error) {
 	out.Reanalysis = s.ex.LastInc
 	out.Guru = s.guruLocked()
 	s.asserts++
+	s.acceptedLog = append(s.acceptedLog, AssertRecord{Kind: kind, Loop: loopID, Var: varName})
 	s.m.assertsAccepted.Add(1)
 	s.m.recordInc(s.ex.LastInc)
 	s.event("assert", fmt.Sprintf("%s %s in %s: recomputed %d summaries, reused %d",
