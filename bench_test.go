@@ -256,9 +256,11 @@ func benchEngine(b *testing.B, mode exec.ExecMode, instrumented bool, sampleEver
 func BenchmarkInterpTreeDDA(b *testing.B)       { benchEngine(b, exec.ModeTree, true, 0) }
 func BenchmarkInterpBytecodeDDA(b *testing.B)   { benchEngine(b, exec.ModeBytecode, true, 0) }
 func BenchmarkInterpTieredDDA(b *testing.B)     { benchEngine(b, exec.ModeTiered, true, 0) }
+func BenchmarkInterpRegisterDDA(b *testing.B)   { benchEngine(b, exec.ModeRegister, true, 0) }
 func BenchmarkInterpTreePlain(b *testing.B)     { benchEngine(b, exec.ModeTree, false, 0) }
 func BenchmarkInterpBytecodePlain(b *testing.B) { benchEngine(b, exec.ModeBytecode, false, 0) }
 func BenchmarkInterpTieredPlain(b *testing.B)   { benchEngine(b, exec.ModeTiered, false, 0) }
+func BenchmarkInterpRegisterPlain(b *testing.B) { benchEngine(b, exec.ModeRegister, false, 0) }
 
 // The §2.5.2 iteration-sampled DDA configuration (SampleEvery=10, two warm
 // iterations): the production setting for long-running instrumented runs,
@@ -268,6 +270,7 @@ func BenchmarkInterpTieredPlain(b *testing.B)   { benchEngine(b, exec.ModeTiered
 func BenchmarkInterpTreeSampledDDA(b *testing.B)     { benchEngine(b, exec.ModeTree, true, 10) }
 func BenchmarkInterpBytecodeSampledDDA(b *testing.B) { benchEngine(b, exec.ModeBytecode, true, 10) }
 func BenchmarkInterpTieredSampledDDA(b *testing.B)   { benchEngine(b, exec.ModeTiered, true, 10) }
+func BenchmarkInterpRegisterSampledDDA(b *testing.B) { benchEngine(b, exec.ModeRegister, true, 10) }
 
 // ---- Ablations (DESIGN.md) ----
 

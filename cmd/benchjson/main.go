@@ -146,11 +146,13 @@ func derive(rep *Report) {
 	for _, b := range rep.Benchmarks {
 		byName[b.Name] = b
 	}
-	// Engine-tier ratios (BENCH_exec.json v2): numerator ns/op over
+	// Engine-tier ratios (BENCH_exec.json v3): numerator ns/op over
 	// denominator ns/op under the given key, so every tier's win over the
 	// tier below it is recorded explicitly. The sampled-DDA row is the
 	// headline specialization metric: the §2.5.2 iteration-sampled
 	// instrumented run is where the tiered engine's strip dispatch applies.
+	// v3 adds the register-tier rows: register vs tiered is the tier-4
+	// acceptance ratio.
 	ratios := []struct {
 		num, den, nsKey, allocKey string
 	}{
@@ -161,6 +163,11 @@ func derive(rep *Report) {
 		{"InterpBytecodePlain", "InterpTieredPlain", "tiered_plain_vs_bytecode", ""},
 		{"InterpBytecodeSampledDDA", "InterpTieredSampledDDA", "tiered_sampled_dda_vs_bytecode", ""},
 		{"InterpTreeDDA", "InterpTieredDDA", "tiered_dda_vs_tree", ""},
+		{"InterpTieredDDA", "InterpRegisterDDA", "register_dda_vs_tiered", ""},
+		{"InterpTieredPlain", "InterpRegisterPlain", "register_plain_vs_tiered", ""},
+		{"InterpTieredSampledDDA", "InterpRegisterSampledDDA", "register_sampled_dda_vs_tiered", ""},
+		{"InterpBytecodePlain", "InterpRegisterPlain", "register_plain_vs_bytecode", ""},
+		{"InterpTreePlain", "InterpRegisterPlain", "register_plain_vs_tree", ""},
 	}
 	for _, r := range ratios {
 		num, okN := byName[r.num]

@@ -41,7 +41,7 @@ func main() {
 	depth := flag.Int("depth", 1, "auto: max interchange depth to search")
 	machName := flag.String("machine", "alpha", "auto: cost model (alpha, challenge, origin)")
 	asJSON := flag.Bool("json", false, "auto: emit the full tune report as JSON")
-	execTier := flag.String("exec-tier", "", "execution engine tier for -auto runs (tree, bytecode or tiered)")
+	execTier := flag.String("exec-tier", "", "execution engine tier for -auto runs (tree, bytecode, tiered or register)")
 	connect := flag.String("connect", "",
 		"run the analysis on a suifxd server (or cluster coordinator) at this base URL instead of locally")
 	flag.Parse()

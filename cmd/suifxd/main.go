@@ -70,7 +70,7 @@ func main() {
 	workers := flag.String("workers", "",
 		"analysis worker pool size (0 = GOMAXPROCS); with -coordinator, the comma-separated worker URLs instead")
 	execMode := flag.String("exec-mode", "auto", "default /v1/profile execution engine (auto, bytecode, tiered or tree)")
-	execTier := flag.String("exec-tier", "", "pin the default engine to a concrete tier (tree, bytecode or tiered); overrides -exec-mode")
+	execTier := flag.String("exec-tier", "", "pin the default engine to a concrete tier (tree, bytecode, tiered or register); overrides -exec-mode")
 	maxSessions := flag.Int("max-sessions", 64, "max live interactive sessions (older sessions evicted LRU)")
 	sessionTTL := flag.Duration("session-ttl", 15*time.Minute, "idle time before a session is evicted")
 	sessionSweep := flag.Duration("session-sweep", 30*time.Second, "session eviction janitor period")

@@ -255,8 +255,145 @@ const (
 	// (body entry is a+1), b=the head's exit target.
 	opLoopNextHead
 
+	// ------------------------------------------------------------------
+	// Register-form opcodes (register.go, DESIGN.md "Register-form tier").
+	// Emitted only into the register-lowered alt-body region appended at
+	// code.regStart of register-tier streams, and executed only by the
+	// vm's dedicated register runner (runRegBody). Operands name virtual
+	// registers — eval-stack slots allocated at compile time, which is
+	// possible because the stack depth at every point of a straight-line
+	// alt body is statically known — instead of implicit stack positions.
+	// Register operands are packed into one int32 field 10 bits each
+	// (rPack/rsh below); the other fields keep the source instruction's
+	// addresses, table ids, and immediates.
+
+	opRConst // reg[b] = f
+	opRLoadG // reg[b] = mem[a]
+	opRLoadP // reg[b] = mem[params[a]]
+	opRStoreG
+	opRStoreP
+	opRNeg  // reg[b] = -reg[b]
+	opRNot  // reg[b] = !reg[b]
+	opRBool // reg[b] = bool(reg[b])
+	// Three-register arithmetic/compare: b = dst | s1<<10 | s2<<20.
+	opRAdd
+	opRSub
+	opRMul
+	opRDiv // a = source line
+	opREQ
+	opRNE
+	opRLT
+	opRLE
+	opRGT
+	opRGE
+	opRIntrin // a = intrinsic id, b = argc | base<<10; result in reg[base]
+	// Jumps: a = target pc; register operands in b.
+	opRJmp
+	opRJZ     // if reg[b] == 0 jump
+	opRAndJmp // if reg[b] == 0 jump (keep 0)
+	opROrJmp  // if reg[b] != 0 { reg[b] = 1; jump }
+	opRJEQ    // b = s1 | s2<<10; jump when the comparison is FALSE
+	opRJNE
+	opRJLT
+	opRJLE
+	opRJGT
+	opRJGE
+	// Checked element addressing (non-specialized refs inside alt bodies).
+	opRIdx    // a = idx id, b = slot (in place: index value -> offset)
+	opRIdxAdd // a = idx id, b = acc | iv<<10
+	opRLoadGE // a = array base, b = slot (in place: offset -> value)
+	opRLoadPE
+	opRStoreGE // a = base, b = val | off<<10
+	opRStorePE
+	// Specialized (checkless) accesses: b = idx id; the index value is the
+	// runner's hoisted induction register, converted once per iteration.
+	opRSpecLoadG // a = dst
+	opRSpecStoreG
+	opRSpecLoadP
+	opRSpecStoreP
+	// Register twins of the fused superinstructions that appear in alt
+	// bodies. Field use mirrors the stack form; the extra register operand
+	// rides in b (free in the stack form) or f (full-access forms).
+	opRLGIdxLoadGE // a = index var addr, b = idx id, f = float64(dst)
+	opRLGIdxLoadPE
+	opRLGIdxStoreGE // f = float64(src)
+	opRLGIdxStorePE
+	opRIdxAddLoadGE  // a = base/pslot, b = idx id, f = float64(acc|iv<<10)
+	opRIdxAddLoadPE  //
+	opRIdxAddStoreGE // f = float64(val|acc<<10|iv<<20)
+	opRIdxAddStorePE
+	opRLGIdx    // a = var addr, b = idx id, f = float64(dst)
+	opRLGIdxAdd // f = float64(acc)
+	opRLLAdd    // a, b = addrs, f = float64(dst)
+	opRLLSub
+	opRLLMul
+	opRLCAdd // a = addr, b = dst, f = const
+	opRLCSub
+	opRLCMul
+	opRLCMulAdd // reg[b] += mem[a] * f
+	opRLPJGT    // a = target, b = pslot | src<<10
+	opRLPJLE
+	opRLCIdx          // a = addr, b = idx id | dst<<20, f = const
+	opRLoadGEAdd      // a = base, b = acc | off<<10
+	opRLoadGESub      //
+	opRLoadGEMul      //
+	opRConstAddStoreG // mem[a] = reg[b] + f
+	// Register peephole products: whole-pattern superinstructions the
+	// explicit operands make legal (the consumed register is provably dead
+	// because the stack depth dropped below it).
+	opRSpecJGTP // spec load + opRLPJGT: a = target, b = pslot, f = float64(idx id)
+	opRSpecJLEP
+	opRMemAxpy // load/opRLCMulAdd/store, same cell: mem[a] += mem[b] * f
+
+	// Param-held index forms (mirror opLPIdx*: index read via params[a]).
+	opRLPIdx        // a = index pslot, b = idx id, f = float64(dst)
+	opRLPIdxAdd     // a = index pslot, b = idx id, f = float64(acc)
+	opRLPIdxLoadGE  // a = index pslot, b = idx id, f = float64(dst)
+	opRLPIdxLoadPE  // like opRLPIdxLoadGE through the array's pslot base
+	opRLPIdxStoreGE // a = index pslot, b = idx id, f = float64(src)
+	opRLPIdxStorePE
+
+	// Constant-folded register binops (opRConst + opRAdd/Sub/Mul where the
+	// constant slot dies): b = dst | s1<<10, f = the constant.
+	opRAddC
+	opRSubC
+	opRMulC
+	opRSpecStoreC // opRConst + opRSpecStoreG: b = idx id, f = the constant
+
+	opRAbs // single-arg ABS intrinsic, open-coded: b = slot (in place)
+
+	// opRLPIdx + opRLoadGE{Add,Sub,Mul}: param-held-index element access
+	// folded into the accumulating binop. a = element base,
+	// b = idx id | index pslot<<20, f = float64(acc).
+	opRLPIdxLoadGEAdd
+	opRLPIdxLoadGESub
+	opRLPIdxLoadGEMul
+
+	// opRLCMulAdd + opRSpecStoreG over the same register:
+	// a = scalar addr, b = reg | idx id<<10, f = the constant.
+	opRLCMulAddSpecStore
+
+	// opRSpecJGTP/JLEP whose taken edge skips exactly one mem[x] += 1
+	// (opLCAddStoreG, a == b, f == 1): the compare executes the increment
+	// itself instead of branching around it. The increment's tick is
+	// charged only on the taken path, so virtual time stays path-exact.
+	// a = increment addr, b = pslot, f = float64(idx id | incTick<<20).
+	opRSpecJGTPInc
+	opRSpecJLEPInc
+
 	opcodeCount // sentinel: number of opcodes (name table, census)
 )
+
+// Register-operand packing: up to three virtual registers in one int32,
+// 10 bits each. Register indices are eval-stack depths; the lowering pass
+// refuses bodies that would need a register >= rLimit.
+const (
+	rBits  = 10
+	rMask  = 1<<rBits - 1
+	rLimit = 1 << rBits
+)
+
+func rPack(r1, r2, r3 int32) int32 { return r1 | r2<<rBits | r3<<(2*rBits) }
 
 // instr is one 24-byte instruction. tick is the amount of virtual time
 // charged when the instruction executes (statement + expression-node ticks
@@ -296,6 +433,11 @@ type loopMeta struct {
 	// may run.
 	altEntry int32
 	guards   []int32
+	// Register streams only: regEntry is the pc of the register-form
+	// lowering of the alt body in the appended region at code.regStart
+	// (-1 = the body could not be register-lowered; arming falls back to
+	// the stack-form alt body).
+	regEntry int32
 }
 
 // argKind distinguishes how a call argument slot binds.
@@ -325,6 +467,11 @@ type code struct {
 	maxStack     int   // eval-stack high-water mark (statically known)
 	instrumented bool
 	tiered       bool // superinstruction-fused stream with alt loop bodies
+	// Register tier: register-form alt bodies are appended at regStart, so
+	// an armed activation whose alt pc is >= regStart dispatches to the
+	// register runner instead of the stack-form alt body.
+	register bool
+	regStart int32
 }
 
 // lowered is the per-program compilation cache plus pooled run state. It is
@@ -334,9 +481,9 @@ type lowered struct {
 	lay *layout
 
 	mu sync.Mutex
-	// variants[instrumented + 2*tiered]: plain, DDA-instrumented, and the
-	// two tiered (fused + specializable) twins of each.
-	variants [4]*code
+	// variants[instrumented + 2*tier]: plain, DDA-instrumented, and the
+	// tiered (fused + specializable) and register-form twins of each.
+	variants [6]*code
 
 	vmPool     sync.Pool // *vmScratch
 	shadowPool sync.Pool // *ddaShadow
@@ -364,23 +511,33 @@ func InvalidateProgram(prog *ir.Program) {
 	prog.ExecCache.Store(&lowered{lay: newLayout(prog)})
 }
 
+// tierKind selects which compiled variant of a program codeFor returns.
+type tierKind int
+
+const (
+	tierPlain    tierKind = iota // baseline bytecode
+	tierFused                    // superinstruction fusion + specialization
+	tierRegister                 // tierFused + register-form alt bodies
+)
+
 // codeFor returns the plain or instrumented instruction stream, compiling
 // it on first use. Tiered variants additionally lower specializable loop
-// bodies twice (generic + alt) and run the superinstruction fusion pass.
-func (low *lowered) codeFor(prog *ir.Program, instrumented, tiered bool) *code {
-	i := 0
+// bodies twice (generic + alt) and run the superinstruction fusion pass;
+// the register tier then lowers each alt body to register form.
+func (low *lowered) codeFor(prog *ir.Program, instrumented bool, tier tierKind) *code {
+	i := int(tier)*2 + 0
 	if instrumented {
-		i = 1
-	}
-	if tiered {
-		i += 2
+		i++
 	}
 	low.mu.Lock()
 	defer low.mu.Unlock()
 	if low.variants[i] == nil {
-		cd := compileProgram(prog, low.lay, instrumented, tiered)
-		if tiered {
+		cd := compileProgram(prog, low.lay, instrumented, tier != tierPlain)
+		if tier != tierPlain {
 			cd = fuseCode(cd)
+		}
+		if tier == tierRegister {
+			regLowerCode(cd)
 		}
 		low.variants[i] = cd
 		counters.compiledProcs.Add(int64(len(prog.Procs)))
@@ -415,6 +572,13 @@ var counters struct {
 	fusedInstructions atomic.Int64
 	specInvocations   atomic.Int64
 	stripIterations   atomic.Int64
+
+	// Register tier: runs dispatched to the register variant, alt bodies
+	// successfully lowered to register form at compile time, and loop
+	// iterations executed by the register runner.
+	registerRuns  atomic.Int64
+	regBodies     atomic.Int64
+	regIterations atomic.Int64
 }
 
 // Counters is a snapshot of the execution engine's global counters.
@@ -444,6 +608,12 @@ type Counters struct {
 	FusedInstructions int64 `json:"fused_instructions"`
 	SpecInvocations   int64 `json:"spec_invocations"`
 	StripIterations   int64 `json:"strip_iterations"`
+
+	// Register tier: register-variant runs, alt bodies lowered to register
+	// form at compile time, and iterations executed by the register runner.
+	RegisterRuns  int64 `json:"register_runs"`
+	RegBodies     int64 `json:"register_bodies"`
+	RegIterations int64 `json:"register_iterations"`
 }
 
 // ReadCounters returns the current engine counters.
@@ -464,5 +634,8 @@ func ReadCounters() Counters {
 		FusedInstructions: counters.fusedInstructions.Load(),
 		SpecInvocations:   counters.specInvocations.Load(),
 		StripIterations:   counters.stripIterations.Load(),
+		RegisterRuns:      counters.registerRuns.Load(),
+		RegBodies:         counters.regBodies.Load(),
+		RegIterations:     counters.regIterations.Load(),
 	}
 }

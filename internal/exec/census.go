@@ -33,7 +33,7 @@ func FusionCensus(prog *ir.Program, out io.Writer) ([]PatternCount, error) {
 	} else {
 		in.Out = io.Discard
 	}
-	cd := loweredOf(prog).codeFor(prog, false, false)
+	cd := loweredOf(prog).codeFor(prog, false, tierPlain)
 	in.pcCount = make([]int64, len(cd.ins))
 	if err := in.Run(); err != nil {
 		return nil, err
@@ -69,7 +69,10 @@ func isControlTransfer(op opcode) bool {
 	switch op {
 	case opJmp, opJZ, opAndJmp, opOrJmp, opLoopInit, opLoopHead, opLoopNext,
 		opLoopNextHead, opLPJGT, opLPJLE, opLPJGTI, opLPJLEI,
-		opCall, opReturn, opErr:
+		opCall, opReturn, opErr,
+		opRJmp, opRJZ, opRAndJmp, opROrJmp,
+		opRJEQ, opRJNE, opRJLT, opRJLE, opRJGT, opRJGE,
+		opRLPJGT, opRLPJLE, opRSpecJGTP, opRSpecJLEP:
 		return true
 	}
 	return false
@@ -126,4 +129,37 @@ var opNames = [opcodeCount]string{
 	opLCMulAddI: "opLCMulAddI", opLPJGTI: "opLPJGTI", opLPJLEI: "opLPJLEI",
 	opLCIdxI: "opLCIdxI", opLCAddStoreGI: "opLCAddStoreGI",
 	opLoopNextHead: "opLoopNextHead",
+	opRConst:       "opRConst", opRLoadG: "opRLoadG", opRLoadP: "opRLoadP",
+	opRStoreG: "opRStoreG", opRStoreP: "opRStoreP",
+	opRNeg: "opRNeg", opRNot: "opRNot", opRBool: "opRBool",
+	opRAdd: "opRAdd", opRSub: "opRSub", opRMul: "opRMul", opRDiv: "opRDiv",
+	opREQ: "opREQ", opRNE: "opRNE", opRLT: "opRLT", opRLE: "opRLE", opRGT: "opRGT", opRGE: "opRGE",
+	opRIntrin: "opRIntrin",
+	opRJmp:    "opRJmp", opRJZ: "opRJZ", opRAndJmp: "opRAndJmp", opROrJmp: "opROrJmp",
+	opRJEQ: "opRJEQ", opRJNE: "opRJNE", opRJLT: "opRJLT", opRJLE: "opRJLE", opRJGT: "opRJGT", opRJGE: "opRJGE",
+	opRIdx: "opRIdx", opRIdxAdd: "opRIdxAdd",
+	opRLoadGE: "opRLoadGE", opRLoadPE: "opRLoadPE", opRStoreGE: "opRStoreGE", opRStorePE: "opRStorePE",
+	opRSpecLoadG: "opRSpecLoadG", opRSpecStoreG: "opRSpecStoreG",
+	opRSpecLoadP: "opRSpecLoadP", opRSpecStoreP: "opRSpecStoreP",
+	opRLGIdxLoadGE: "opRLGIdxLoadGE", opRLGIdxLoadPE: "opRLGIdxLoadPE",
+	opRLGIdxStoreGE: "opRLGIdxStoreGE", opRLGIdxStorePE: "opRLGIdxStorePE",
+	opRIdxAddLoadGE: "opRIdxAddLoadGE", opRIdxAddLoadPE: "opRIdxAddLoadPE",
+	opRIdxAddStoreGE: "opRIdxAddStoreGE", opRIdxAddStorePE: "opRIdxAddStorePE",
+	opRLGIdx: "opRLGIdx", opRLGIdxAdd: "opRLGIdxAdd",
+	opRLLAdd: "opRLLAdd", opRLLSub: "opRLLSub", opRLLMul: "opRLLMul",
+	opRLCAdd: "opRLCAdd", opRLCSub: "opRLCSub", opRLCMul: "opRLCMul",
+	opRLCMulAdd: "opRLCMulAdd", opRLPJGT: "opRLPJGT", opRLPJLE: "opRLPJLE",
+	opRLCIdx:     "opRLCIdx",
+	opRLoadGEAdd: "opRLoadGEAdd", opRLoadGESub: "opRLoadGESub", opRLoadGEMul: "opRLoadGEMul",
+	opRConstAddStoreG: "opRConstAddStoreG",
+	opRSpecJGTP:       "opRSpecJGTP", opRSpecJLEP: "opRSpecJLEP", opRMemAxpy: "opRMemAxpy",
+	opRLPIdx: "opRLPIdx", opRLPIdxAdd: "opRLPIdxAdd",
+	opRLPIdxLoadGE: "opRLPIdxLoadGE", opRLPIdxLoadPE: "opRLPIdxLoadPE",
+	opRLPIdxStoreGE: "opRLPIdxStoreGE", opRLPIdxStorePE: "opRLPIdxStorePE",
+	opRAddC: "opRAddC", opRSubC: "opRSubC", opRMulC: "opRMulC",
+	opRSpecStoreC: "opRSpecStoreC", opRAbs: "opRAbs",
+	opRLPIdxLoadGEAdd: "opRLPIdxLoadGEAdd", opRLPIdxLoadGESub: "opRLPIdxLoadGESub",
+	opRLPIdxLoadGEMul: "opRLPIdxLoadGEMul",
+	opRLCMulAddSpecStore: "opRLCMulAddSpecStore",
+	opRSpecJGTPInc:       "opRSpecJGTPInc", opRSpecJLEPInc: "opRSpecJLEPInc",
 }

@@ -82,14 +82,15 @@ func compileProgram(prog *ir.Program, lay *layout, instrumented, tiered bool) *c
 // per-call map lookups with fixed addresses. Views are never instrumented:
 // worker clones drop hooks on the tree path too.
 func compileLoopBody(prog *ir.Program, lay *layout, proc *ir.Proc, l *ir.DoLoop,
-	rebind map[*ir.Symbol]int64, privCommon map[string]map[int64]int64) *code {
+	rebind map[*ir.Symbol]int64, privCommon map[string]map[int64]int64, tiered bool) *code {
 	c := &compiler{
 		prog:       prog,
 		lay:        lay,
-		c:          &code{lay: lay},
+		c:          &code{lay: lay, tiered: tiered},
 		entryOf:    map[string]int32{},
 		rebind:     rebind,
 		privCommon: privCommon,
+		tiered:     tiered,
 	}
 	c.curProc = proc
 	c.stmts(l.Body)
@@ -186,7 +187,7 @@ func (c *compiler) stmt(s ir.Stmt) {
 
 func (c *compiler) loop(l *ir.DoLoop) {
 	li := int32(len(c.c.loops))
-	lm := loopMeta{loop: l, proc: c.curProc.Name, line: int32(l.Pos.Line), altEntry: -1}
+	lm := loopMeta{loop: l, proc: c.curProc.Name, line: int32(l.Pos.Line), altEntry: -1, regEntry: -1}
 	switch sym := l.Index; {
 	case sym.IsParam && !c.rebound(sym):
 		lm.idxParam, lm.idxOp = true, int32(sym.ParamIndex)
@@ -246,7 +247,10 @@ func (c *compiler) lowerAltBody(l *ir.DoLoop, head, li int32) {
 // make the alt body worth dispatching to.
 func (c *compiler) specializable(l *ir.DoLoop) bool {
 	sym := l.Index
-	if sym.IsParam || sym.Common != "" || c.rebound(sym) {
+	// A rebound (worker-private) index is fine: it resolves to a fixed
+	// absolute cell in this view's bank, disjoint from every other symbol's
+	// cells, so the aliasing exclusions below still hold.
+	if sym.IsParam || sym.Common != "" {
 		return false
 	}
 	n := 0
@@ -266,11 +270,14 @@ func (c *compiler) specStmts(list []ir.Stmt, sym *ir.Symbol, n *int) bool {
 					return false // body assigns the index
 				}
 			case *ir.ArrayRef:
-				// Param- and common-bound array stores could land on the
-				// index cell via sequence association, defeating the
-				// hoisted bounds proof; local-array stores cannot escape
-				// their own symbol's cells.
-				if lhs.Sym.IsParam || lhs.Sym.Common != "" {
+				// Param-bound array stores could land on the index cell via
+				// sequence association (the declared dims the bounds checks
+				// enforce may overflow the actual argument), defeating the
+				// hoisted bounds proof. Local- and common-array stores
+				// cannot: in-bounds stores stay within their own symbol's
+				// cells or common block region, both disjoint from the local
+				// index scalar's cell.
+				if lhs.Sym.IsParam {
 					return false
 				}
 				if specQualifies(lhs, sym) {

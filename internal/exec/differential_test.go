@@ -144,9 +144,9 @@ func compareRuns(t *testing.T, label string, tree, bc runResult) {
 	}
 }
 
-// diffBoth is a three-way differential: the tree-walker is the reference,
-// and both the baseline bytecode VM and the tiered VM (fusion +
-// specialization) must match it on every observable.
+// diffBoth is a four-way differential: the tree-walker is the reference,
+// and the baseline bytecode VM, the tiered VM (fusion + specialization),
+// and the register-form VM (tier 4) must all match it on every observable.
 func diffBoth(t *testing.T, label, name, src string, cfg runConfig) {
 	t.Helper()
 	tree := runEngine(t, name, src, exec.ModeTree, cfg)
@@ -154,6 +154,8 @@ func diffBoth(t *testing.T, label, name, src string, cfg runConfig) {
 	compareRuns(t, label+"/vm", tree, bc)
 	td := runEngine(t, name, src, exec.ModeTiered, cfg)
 	compareRuns(t, label+"/tiered", tree, td)
+	rg := runEngine(t, name, src, exec.ModeRegister, cfg)
+	compareRuns(t, label+"/register", tree, rg)
 }
 
 // TestDifferentialWorkloads runs every benchmark workload through both
@@ -257,6 +259,8 @@ func TestDifferentialErrors(t *testing.T) {
 			compareRuns(t, tc.name+"/vm", tree, bc)
 			td := runEngine(t, tc.name, tc.src, exec.ModeTiered, cfg)
 			compareRuns(t, tc.name+"/tiered", tree, td)
+			rg := runEngine(t, tc.name, tc.src, exec.ModeRegister, cfg)
+			compareRuns(t, tc.name+"/register", tree, rg)
 		})
 	}
 }
@@ -294,6 +298,8 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 		compareRuns(t, name+"/vm", tree, bc)
 		td := runEngine(t, name, src, exec.ModeTiered, cfg)
 		compareRuns(t, name+"/tiered", tree, td)
+		rg := runEngine(t, name, src, exec.ModeRegister, cfg)
+		compareRuns(t, name+"/register", tree, rg)
 		if t.Failed() {
 			t.Fatalf("seed %d diverged; source:\n%s", s, src)
 		}
@@ -347,5 +353,9 @@ func TestReportOrderStability(t *testing.T) {
 	tiered := runEngine(t, w.Name, w.Source, exec.ModeTiered, cfg)
 	if tiered.profiles != base.profiles || tiered.deploops != base.deploops {
 		t.Fatalf("tiered/vm report order differs:\n%s\nvs\n%s", tiered.profiles, base.profiles)
+	}
+	reg := runEngine(t, w.Name, w.Source, exec.ModeRegister, cfg)
+	if reg.profiles != base.profiles || reg.deploops != base.deploops {
+		t.Fatalf("register/vm report order differs:\n%s\nvs\n%s", reg.profiles, base.profiles)
 	}
 }

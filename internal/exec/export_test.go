@@ -18,7 +18,7 @@ func FusedPairCensusForTest(prog *ir.Program, instrumented bool) (pairs, singles
 		NewProfiler(in)
 		NewDynDep(in)
 	}
-	cd := loweredOf(prog).codeFor(prog, instrumented, true)
+	cd := loweredOf(prog).codeFor(prog, instrumented, tierFused)
 	in.pcCount = make([]int64, len(cd.ins))
 	if err := in.Run(); err != nil {
 		return nil, nil, err

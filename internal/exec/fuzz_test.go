@@ -44,3 +44,34 @@ func FuzzTieredDifferential(f *testing.F) {
 		compareRuns(t, "fuzz/tiered", tree, td)
 	})
 }
+
+// FuzzRegisterDifferential is the register-tier (tier 4) twin: arbitrary
+// accepted programs must behave identically under register-form lowering —
+// arming, lowering bails, peephole fusion and runner fallbacks included.
+// Seeded like FuzzTieredDifferential, plus shapes that exercise the
+// lowering's bail paths (IF arms inside hot loops, intrinsics, nested
+// specializable loops).
+func FuzzRegisterDifferential(f *testing.F) {
+	for _, w := range workloads.All() {
+		f.Add(w.Source)
+	}
+	for seed := int64(0); seed < 4; seed++ {
+		f.Add(corpus.DiffProgram(seed))
+	}
+	f.Add("      PROGRAM T\n      REAL A(10)\n      INTEGER I\n      DO 10 I = 1, 10\n      A(I) = ABS(A(I) - 3.0) + 1.0\n   10 CONTINUE\n      END\n")
+	f.Add("      PROGRAM T\n      REAL A(10), S\n      INTEGER I\n      DO 10 I = 1, 10\n      IF (A(I) .GT. 2.0) S = S + 1\n   10 CONTINUE\n      END\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		if _, err := minif.Parse("fuzz.f", src); err != nil {
+			return
+		}
+		cfg := runConfig{profile: true, instrument: true, maxOps: 200000}
+		if len(src)%2 == 1 {
+			cfg.sampleEvery = 3
+			cfg.sampleWarm = 1
+		}
+		tree := runEngine(t, "fuzz.f", src, exec.ModeTree, cfg)
+		rg := runEngine(t, "fuzz.f", src, exec.ModeRegister, cfg)
+		compareRuns(t, "fuzz/register", tree, rg)
+	})
+}

@@ -35,10 +35,18 @@ const (
 	// invocation threshold, bounds checks hoisted to a preflight, DDA
 	// instrumentation stripped on unsampled iterations).
 	ModeTiered
+	// ModeRegister stacks a fourth tier on ModeTiered: specialized alt
+	// bodies are additionally lowered to a register-addressed instruction
+	// form (eval-stack slots become virtual registers, resolved at compile
+	// time) executed by a dedicated inner dispatch loop. Arming, preflight,
+	// sampled-DDA fallback and incremental invalidation behave exactly as
+	// in ModeTiered; loops whose bodies cannot be register-lowered fall
+	// back to the stack-form alt body.
+	ModeRegister
 )
 
 // ParseMode maps a user-facing engine name to an ExecMode. Accepts
-// "bytecode", "tree", "tiered", "auto" and "" (auto).
+// "bytecode", "tree", "tiered", "register", "auto" and "" (auto).
 func ParseMode(s string) (ExecMode, error) {
 	switch s {
 	case "", "auto":
@@ -49,8 +57,10 @@ func ParseMode(s string) (ExecMode, error) {
 		return ModeTree, nil
 	case "tiered":
 		return ModeTiered, nil
+	case "register":
+		return ModeRegister, nil
 	}
-	return ModeAuto, fmt.Errorf("exec: unknown mode %q (want auto, bytecode, tiered or tree)", s)
+	return ModeAuto, fmt.Errorf("exec: unknown mode %q (want auto, bytecode, tiered, register or tree)", s)
 }
 
 // ParseTier maps the user-facing `tier` knob to an ExecMode. Unlike
@@ -66,8 +76,10 @@ func ParseTier(s string) (ExecMode, error) {
 		return ModeBytecode, nil
 	case "tiered":
 		return ModeTiered, nil
+	case "register":
+		return ModeRegister, nil
 	}
-	return ModeAuto, fmt.Errorf("exec: unknown tier %q (want tree, bytecode or tiered)", s)
+	return ModeAuto, fmt.Errorf("exec: unknown tier %q (want tree, bytecode, tiered or register)", s)
 }
 
 func (m ExecMode) String() string {
@@ -78,6 +90,8 @@ func (m ExecMode) String() string {
 		return "tree"
 	case ModeTiered:
 		return "tiered"
+	case ModeRegister:
+		return "register"
 	}
 	return "auto"
 }
@@ -247,7 +261,7 @@ func (in *Interp) useBytecode() bool {
 	if mode == ModeAuto {
 		mode = DefaultMode
 	}
-	if mode != ModeBytecode && mode != ModeTiered {
+	if mode != ModeBytecode && mode != ModeTiered && mode != ModeRegister {
 		counters.fallbackMode.Add(1)
 		return false
 	}
@@ -315,12 +329,21 @@ func (in *Interp) runBytecode() error {
 	if mode == ModeAuto {
 		mode = DefaultMode
 	}
-	tiered := mode == ModeTiered
+	tier := tierPlain
+	switch mode {
+	case ModeTiered:
+		tier = tierFused
+	case ModeRegister:
+		tier = tierRegister
+	}
 	low := loweredOf(in.Prog)
-	cd := low.codeFor(in.Prog, dyn != nil, tiered)
+	cd := low.codeFor(in.Prog, dyn != nil, tier)
 	counters.bytecodeRuns.Add(1)
-	if tiered {
+	switch mode {
+	case ModeTiered:
 		counters.tieredRuns.Add(1)
+	case ModeRegister:
+		counters.registerRuns.Add(1)
 	}
 
 	sc, _ := low.vmPool.Get().(*vmScratch)
@@ -345,7 +368,7 @@ func (in *Interp) runBytecode() error {
 	if v.maxOps <= 0 {
 		v.maxOps = math.MaxInt64
 	}
-	if tiered {
+	if cd.tiered {
 		v.spec = sc.specInv
 	}
 	if in.pcCount != nil && len(in.pcCount) == len(cd.ins) {

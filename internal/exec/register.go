@@ -1,0 +1,519 @@
+package exec
+
+// Register-form lowering (tier 4, DESIGN.md "Register-form tier"). The
+// specialized alt bodies the tiered engine arms are straight-line (no
+// nested loops, no calls, no IO — specializable() guarantees it), so the
+// eval-stack depth before every instruction is a compile-time constant: a
+// single linear walk from the body entry, adding each opcode's stack
+// effect and checking consistency at jump targets, assigns every stack
+// slot a fixed index. Those indices become virtual registers, and each
+// stack instruction translates 1:1 into a register-addressed twin that
+// names its operands explicitly instead of through sp. A register
+// peephole then collapses def-use chains the stack form cannot (the
+// consumed register is provably dead because the depth dropped below it),
+// and the loop's back edge is executed natively by the vm's register
+// runner (runRegBody), so hot iterations pay neither sp arithmetic nor
+// the full dispatch table.
+//
+// Lowering is conservative: any opcode without a register twin, any depth
+// inconsistency, or any operand that does not fit the packed encoding
+// makes the loop keep its stack-form alt body (regEntry stays -1).
+// Arming, preflight, sampled-DDA fallback and invalidation are untouched.
+
+// regLowerCode appends a register-form body for every alt body it can
+// translate. Bodies land after the fused stream (regStart), so no pc in
+// the existing stream moves and the arming/dispatch machinery can
+// distinguish register entries by address alone.
+func regLowerCode(cd *code) {
+	cd.register = true
+	cd.regStart = int32(len(cd.ins))
+	for li := range cd.loops {
+		lm := &cd.loops[li]
+		if lm.altEntry < 0 {
+			continue
+		}
+		if entry, ok := regLowerBody(cd, lm.altEntry); ok {
+			lm.regEntry = entry
+			counters.regBodies.Add(1)
+		}
+	}
+}
+
+// regJumpTarget returns the jump-target operand of a register op, or -1.
+// All register jumps keep the target in a.
+func isRegJump(op opcode) bool {
+	switch op {
+	case opRJmp, opRJZ, opRAndJmp, opROrJmp,
+		opRJEQ, opRJNE, opRJLT, opRJLE, opRJGT, opRJGE,
+		opRLPJGT, opRLPJLE, opRSpecJGTP, opRSpecJLEP:
+		return true
+	}
+	return false
+}
+
+// regLowerBody translates the stack-form alt body starting at `start` into
+// register form and appends it to cd.ins, returning the entry pc. The body
+// extends to its opLoopNextHead back edge (the first loop-next op — alt
+// bodies have no nested loops).
+func regLowerBody(cd *code, start int32) (int32, bool) {
+	// 1. Find the terminating back edge.
+	end := int32(-1)
+	for pc := start; int(pc) < len(cd.ins); pc++ {
+		if op := cd.ins[pc].op; op == opLoopNextHead || op == opLoopNext {
+			if op != opLoopNextHead {
+				return -1, false // unfused back edge: keep the stack body
+			}
+			end = pc
+			break
+		}
+	}
+	if end < 0 {
+		return -1, false
+	}
+	n := int(end - start)
+
+	// 2. Linear depth walk + 1:1 translation. depth[k] is the stack depth
+	// before local instruction k; targetDepth pins the depth at every jump
+	// target so inconsistent paths (which cannot happen for code our
+	// compiler emits, but cost nothing to verify) bail out.
+	body := make([]instr, 0, n+1)
+	targetDepth := make(map[int32]int32, 4)
+	depth := int32(0)
+	known := true
+	for k := int32(0); k < int32(n); k++ {
+		if td, ok := targetDepth[k]; ok {
+			if known && depth != td {
+				return -1, false
+			}
+			depth, known = td, true
+		} else if !known {
+			return -1, false // unreachable tail (after opJmp, not a target)
+		}
+		src := cd.ins[start+k]
+		ri, fall, taken, target, ok := regTranslate(cd, src, depth)
+		if !ok {
+			return -1, false
+		}
+		if target >= 0 {
+			// Jump targets are local to the body; the back edge slot n is a
+			// valid target (end of an IF arm).
+			lt := target - start
+			if lt <= k || lt > int32(n) {
+				return -1, false
+			}
+			ri.a = lt // local until the append below
+			td := depth + taken
+			if prev, ok := targetDepth[lt]; ok && prev != td {
+				return -1, false
+			}
+			targetDepth[lt] = td
+			if lt == int32(n) && td != 0 {
+				return -1, false
+			}
+		}
+		if depth < 0 || int(depth) >= rLimit {
+			return -1, false
+		}
+		depth += fall
+		if src.op == opRJmp || ri.op == opRJmp {
+			known = false
+		}
+		body = append(body, ri)
+	}
+	if td, ok := targetDepth[int32(n)]; ok && td != 0 {
+		return -1, false
+	}
+	if known && depth != 0 {
+		return -1, false // body must end at a statement boundary
+	}
+
+	body = regPeephole(body, int32(n))
+
+	// 3. Append: rewrite local jump targets to absolute pcs, then copy the
+	// stack body's back edge verbatim as the terminator (same head/exit
+	// pcs, same tick), so the runner's exit paths mirror opLoopNextHead.
+	entry := int32(len(cd.ins))
+	term := entry + int32(len(body))
+	for k := range body {
+		if isRegJump(body[k].op) {
+			if body[k].a == int32(len(body)) {
+				body[k].a = term
+			} else {
+				body[k].a += entry
+			}
+		}
+		cd.ins = append(cd.ins, body[k])
+		cd.stmtOf = append(cd.stmtOf, cd.stmtOf[start+regSrcOf(body, k)])
+	}
+	cd.ins = append(cd.ins, cd.ins[end])
+	cd.stmtOf = append(cd.stmtOf, cd.stmtOf[end])
+	return entry, true
+}
+
+// regSrcOf maps a post-peephole body index to a source offset for stmtOf
+// attribution. Exact attribution does not matter (register ops are never
+// instrumented and never fault with per-statement state); clamping to the
+// body is enough.
+func regSrcOf(body []instr, k int) int32 {
+	if k < len(body) {
+		return int32(k)
+	}
+	return int32(len(body) - 1)
+}
+
+// regTranslate produces the register twin of one stack instruction given
+// the stack depth d before it. Returns the translated instruction, the
+// fall-through and taken stack effects, the absolute jump target (-1 for
+// non-jumps), and whether the opcode is supported.
+func regTranslate(cd *code, i instr, d int32) (ri instr, fall, taken int32, target int32, ok bool) {
+	ri = instr{op: i.op, tick: i.tick, a: i.a, b: i.b, f: i.f}
+	target = -1
+	ok = true
+	switch i.op {
+	case opNop:
+		// kept verbatim (tick padding)
+	case opConst:
+		ri.op, ri.b = opRConst, d
+		fall = 1
+	case opLoadG:
+		ri.op, ri.b = opRLoadG, d
+		fall = 1
+	case opLoadP:
+		ri.op, ri.b = opRLoadP, d
+		fall = 1
+	case opStoreG:
+		ri.op, ri.b = opRStoreG, d-1
+		fall = -1
+	case opStoreP:
+		ri.op, ri.b = opRStoreP, d-1
+		fall = -1
+	case opNeg:
+		ri.op, ri.b = opRNeg, d-1
+	case opNot:
+		ri.op, ri.b = opRNot, d-1
+	case opBool:
+		ri.op, ri.b = opRBool, d-1
+	case opAdd, opSub, opMul, opEQ, opNE, opLT, opLE, opGT, opGE:
+		ri.op = opRAdd + (i.op - opAdd)
+		ri.b = rPack(d-2, d-2, d-1)
+		fall = -1
+	case opDiv:
+		ri.op = opRDiv
+		ri.b = rPack(d-2, d-2, d-1)
+		fall = -1
+	case opIntrin:
+		if i.b >= rLimit || d-i.b < 0 {
+			return ri, 0, 0, -1, false
+		}
+		if i.a == inABS && i.b == 1 {
+			// Single-arg ABS is total (never faults), so it open-codes
+			// in place instead of going through the intrinsic table.
+			ri.op, ri.b = opRAbs, d-1
+			break
+		}
+		ri.op = opRIntrin
+		ri.b = i.b | (d-i.b)<<rBits
+		fall = -(i.b - 1)
+	case opJmp:
+		ri.op = opRJmp
+		target = i.a
+	case opJZ:
+		ri.op, ri.b = opRJZ, d-1
+		fall, taken = -1, -1
+		target = i.a
+	case opAndJmp:
+		ri.op, ri.b = opRAndJmp, d-1
+		fall, taken = -1, 0
+		target = i.a
+	case opOrJmp:
+		ri.op, ri.b = opROrJmp, d-1
+		fall, taken = -1, 0
+		target = i.a
+	case opJEQ, opJNE, opJLT, opJLE, opJGT, opJGE:
+		ri.op = opRJEQ + (i.op - opJEQ)
+		ri.b = rPack(d-2, d-1, 0)
+		fall, taken = -2, -2
+		target = i.a
+	case opIdx:
+		ri.op, ri.b = opRIdx, d-1
+	case opIdxAdd:
+		ri.op, ri.b = opRIdxAdd, rPack(d-2, d-1, 0)
+		fall = -1
+	case opLoadGE:
+		ri.op, ri.b = opRLoadGE, d-1
+	case opLoadPE:
+		ri.op, ri.b = opRLoadPE, d-1
+	case opStoreGE:
+		ri.op, ri.b = opRStoreGE, rPack(d-2, d-1, 0)
+		fall = -2
+	case opStorePE:
+		ri.op, ri.b = opRStorePE, rPack(d-2, d-1, 0)
+		fall = -2
+	case opSpecLoadG:
+		ri.op, ri.a = opRSpecLoadG, d
+		fall = 1
+	case opSpecStoreG:
+		ri.op, ri.a = opRSpecStoreG, d-1
+		fall = -1
+	case opSpecLoadP:
+		ri.op, ri.a = opRSpecLoadP, d
+		fall = 1
+	case opSpecStoreP:
+		ri.op, ri.a = opRSpecStoreP, d-1
+		fall = -1
+	case opLGIdxLoadGE:
+		ri.op, ri.f = opRLGIdxLoadGE, float64(d)
+		fall = 1
+	case opLGIdxLoadPE:
+		ri.op, ri.f = opRLGIdxLoadPE, float64(d)
+		fall = 1
+	case opLGIdxStoreGE:
+		ri.op, ri.f = opRLGIdxStoreGE, float64(d-1)
+		fall = -1
+	case opLGIdxStorePE:
+		ri.op, ri.f = opRLGIdxStorePE, float64(d-1)
+		fall = -1
+	case opIdxAddLoadGE:
+		ri.op, ri.f = opRIdxAddLoadGE, float64(rPack(d-2, d-1, 0))
+		fall = -1
+	case opIdxAddLoadPE:
+		ri.op, ri.f = opRIdxAddLoadPE, float64(rPack(d-2, d-1, 0))
+		fall = -1
+	case opIdxAddStoreGE:
+		ri.op, ri.f = opRIdxAddStoreGE, float64(rPack(d-3, d-2, d-1))
+		fall = -3
+	case opIdxAddStorePE:
+		ri.op, ri.f = opRIdxAddStorePE, float64(rPack(d-3, d-2, d-1))
+		fall = -3
+	case opLGIdx:
+		ri.op, ri.f = opRLGIdx, float64(d)
+		fall = 1
+	case opLGIdxAdd:
+		ri.op, ri.f = opRLGIdxAdd, float64(d-1)
+	case opLPIdx:
+		ri.op, ri.f = opRLPIdx, float64(d)
+		fall = 1
+	case opLPIdxAdd:
+		ri.op, ri.f = opRLPIdxAdd, float64(d-1)
+	case opLPIdxLoadGE:
+		ri.op, ri.f = opRLPIdxLoadGE, float64(d)
+		fall = 1
+	case opLPIdxLoadPE:
+		ri.op, ri.f = opRLPIdxLoadPE, float64(d)
+		fall = 1
+	case opLPIdxStoreGE:
+		ri.op, ri.f = opRLPIdxStoreGE, float64(d-1)
+		fall = -1
+	case opLPIdxStorePE:
+		ri.op, ri.f = opRLPIdxStorePE, float64(d-1)
+		fall = -1
+	case opLLAdd, opLLSub, opLLMul:
+		ri.op = opRLLAdd + (i.op - opLLAdd)
+		ri.f = float64(d)
+		fall = 1
+	case opLCAdd, opLCSub, opLCMul:
+		ri.op = opRLCAdd + (i.op - opLCAdd)
+		ri.b = d
+		fall = 1
+	case opLCMulAdd:
+		ri.op, ri.b = opRLCMulAdd, d-1
+	case opLPJGT, opLPJLE:
+		if i.b >= rLimit {
+			return ri, 0, 0, -1, false
+		}
+		ri.op = opRLPJGT + (i.op - opLPJGT)
+		ri.b = i.b | (d-1)<<rBits
+		fall, taken = -1, -1
+		target = i.a
+	case opLCIdx:
+		if i.b >= 1<<(2*rBits) {
+			return ri, 0, 0, -1, false
+		}
+		ri.op = opRLCIdx
+		ri.b = i.b | d<<(2*rBits)
+		fall = 1
+	case opLCAddStoreG:
+		// No stack traffic: kept verbatim; the runner dispatches it too.
+	case opConstAddStoreG:
+		ri.op, ri.b = opRConstAddStoreG, d-1
+		fall = -1
+	case opLoadGEAdd, opLoadGESub, opLoadGEMul:
+		ri.op = opRLoadGEAdd + (i.op - opLoadGEAdd)
+		ri.b = rPack(d-2, d-1, 0)
+		fall = -1
+	default:
+		// Calls, IO, loop machinery, instrumented twins, opErr, and the
+		// param-indexed fusion family have no register twin.
+		return ri, 0, 0, -1, false
+	}
+	return ri, fall, taken, target, ok
+}
+
+// regPeephole collapses register def-use chains within the translated body.
+// Windows never cross a jump target; ticks are summed (skipping any window
+// that would overflow the tick byte), so virtual-time totals observed at
+// loop events are unchanged, and budget-check placement follows the fused
+// head of each window exactly as the stack peephole's does. Passes repeat
+// to a fixpoint so that one pass's products (e.g. opRSpecJGTP) can seed
+// the next pass's windows.
+func regPeephole(body []instr, nTargets int32) []instr {
+	_ = nTargets
+	for {
+		next := regPeepholePass(body)
+		if len(next) == len(body) {
+			return next
+		}
+		body = next
+	}
+}
+
+func regPeepholePass(body []instr) []instr {
+	isTarget := make([]bool, len(body)+1)
+	for k := range body {
+		if isRegJump(body[k].op) {
+			isTarget[body[k].a] = true
+		}
+	}
+	out := make([]instr, 0, len(body))
+	oldToNew := make([]int32, len(body)+1)
+	for k := 0; k < len(body); {
+		oldToNew[k] = int32(len(out))
+		i := body[k]
+		// Triple: opRLoadG x / opRLCMulAdd x / opRStoreG x over one cell
+		// becomes a single memory axpy (mem[a] += mem[b]*f). The register is
+		// dead after the store (depth dropped below it).
+		if i.op == opRLoadG && k+2 < len(body) && !isTarget[k+1] && !isTarget[k+2] {
+			m, s := body[k+1], body[k+2]
+			if m.op == opRLCMulAdd && s.op == opRStoreG &&
+				m.b == i.b && s.b == i.b && s.a == i.a &&
+				int(i.tick)+int(m.tick)+int(s.tick) <= 255 {
+				out = append(out, instr{
+					op: opRMemAxpy, tick: i.tick + m.tick + s.tick,
+					a: i.a, b: m.a, f: m.f,
+				})
+				oldToNew[k+1], oldToNew[k+2] = int32(len(out))-1, int32(len(out))-1
+				k += 3
+				continue
+			}
+		}
+		// Pair: a constant feeding one binop operand (s2) folds into the
+		// binop when the constant's slot dies with it (dst and s1 both
+		// below the constant slot).
+		if i.op == opRConst && k+1 < len(body) && !isTarget[k+1] {
+			n := body[k+1]
+			cs := i.b
+			if n.op == opRAdd || n.op == opRSub || n.op == opRMul {
+				dst, s1, s2 := n.b&rMask, n.b>>rBits&rMask, n.b>>(2*rBits)&rMask
+				if s2 == cs && dst < cs && s1 < cs && int(i.tick)+int(n.tick) <= 255 {
+					fused := opRAddC
+					if n.op == opRSub {
+						fused = opRSubC
+					} else if n.op == opRMul {
+						fused = opRMulC
+					}
+					out = append(out, instr{
+						op: fused, tick: i.tick + n.tick,
+						b: dst | s1<<rBits, f: i.f,
+					})
+					oldToNew[k+1] = int32(len(out)) - 1
+					k += 2
+					continue
+				}
+			}
+			if n.op == opRSpecStoreG && n.a == cs && int(i.tick)+int(n.tick) <= 255 {
+				out = append(out, instr{
+					op: opRSpecStoreC, tick: i.tick + n.tick,
+					b: n.b, f: i.f,
+				})
+				oldToNew[k+1] = int32(len(out)) - 1
+				k += 2
+				continue
+			}
+		}
+		// Pair: specialized load feeding a compare-against-param jump. The
+		// loaded register is the jump's popped operand and is dead after.
+		if i.op == opRSpecLoadG && k+1 < len(body) && !isTarget[k+1] {
+			j := body[k+1]
+			if (j.op == opRLPJGT || j.op == opRLPJLE) &&
+				j.b>>rBits == i.a && int(i.tick)+int(j.tick) <= 255 {
+				fused := opRSpecJGTP
+				if j.op == opRLPJLE {
+					fused = opRSpecJLEP
+				}
+				out = append(out, instr{
+					op: fused, tick: i.tick + j.tick,
+					a: j.a, b: j.b & rMask, f: float64(i.b),
+				})
+				oldToNew[k+1] = int32(len(out)) - 1
+				k += 2
+				continue
+			}
+		}
+		// Pair: a param-held index computation feeding the offset operand of
+		// an accumulating element load. The offset register is the index op's
+		// destination and dies with the load (acc sits below it).
+		if i.op == opRLPIdx && k+1 < len(body) && !isTarget[k+1] {
+			n := body[k+1]
+			if n.op == opRLoadGEAdd || n.op == opRLoadGESub || n.op == opRLoadGEMul {
+				dst := int32(i.f)
+				acc, off := n.b&rMask, n.b>>rBits&rMask
+				if off == dst && acc < dst && i.b < 1<<(2*rBits) && i.a < rLimit &&
+					int(i.tick)+int(n.tick) <= 255 {
+					out = append(out, instr{
+						op: opRLPIdxLoadGEAdd + (n.op - opRLoadGEAdd), tick: i.tick + n.tick,
+						a: n.a, b: i.b | i.a<<(2*rBits), f: float64(acc),
+					})
+					oldToNew[k+1] = int32(len(out)) - 1
+					k += 2
+					continue
+				}
+			}
+		}
+		// Pair: scalar multiply-accumulate whose register is immediately
+		// stored through the specialized index. The register keeps its value
+		// (the store only reads it), so later uses still see it.
+		if i.op == opRLCMulAdd && k+1 < len(body) && !isTarget[k+1] {
+			n := body[k+1]
+			if n.op == opRSpecStoreG && n.a == i.b && n.b < 1<<(2*rBits+1) &&
+				int(i.tick)+int(n.tick) <= 255 {
+				out = append(out, instr{
+					op: opRLCMulAddSpecStore, tick: i.tick + n.tick,
+					a: i.a, b: i.b | n.b<<rBits, f: i.f,
+				})
+				oldToNew[k+1] = int32(len(out)) - 1
+				k += 2
+				continue
+			}
+		}
+		// Pair: a specialized compare-jump whose taken edge skips exactly one
+		// mem[x] += 1 executes the increment itself. The increment's tick is
+		// packed beside the idx id and charged only on the taken path, so
+		// virtual time matches the branchy form on both paths.
+		if (i.op == opRSpecJGTP || i.op == opRSpecJLEP) && k+1 < len(body) && !isTarget[k+1] {
+			n := body[k+1]
+			if n.op == opLCAddStoreG && n.a == n.b && n.f == 1 &&
+				i.a == int32(k+2) && int32(i.f) < 1<<(2*rBits) {
+				fused := opRSpecJGTPInc
+				if i.op == opRSpecJLEP {
+					fused = opRSpecJLEPInc
+				}
+				out = append(out, instr{
+					op: fused, tick: i.tick,
+					a: n.a, b: i.b, f: float64(int32(i.f) | int32(n.tick)<<(2*rBits)),
+				})
+				oldToNew[k+1] = int32(len(out)) - 1
+				k += 2
+				continue
+			}
+		}
+		out = append(out, i)
+		k++
+	}
+	oldToNew[len(body)] = int32(len(out))
+	for k := range out {
+		if isRegJump(out[k].op) {
+			out[k].a = oldToNew[out[k].a]
+		}
+	}
+	return out
+}

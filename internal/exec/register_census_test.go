@@ -1,0 +1,113 @@
+package exec
+
+// Locks in the register peephole's fusion products on the mdg hot loops:
+// if a pattern regresses (a fusion stops firing or fires differently), the
+// opcode sequence here changes and the test names the body that moved.
+// The source is inlined (importing internal/workloads from this package
+// would cycle through internal/parallel).
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"suifx/internal/minif"
+)
+
+const mdgCensusSrc = `
+      SUBROUTINE dists(i, j)
+      COMMON /coords/ xm(200), vm(200)
+      COMMON /work/ rs(16), rl(16)
+      INTEGER i, j, k
+      DO 10 k = 1, 9
+        rs(k) = ABS(xm(i) - xm(j)) + k * 9.0
+10    CONTINUE
+      END
+
+      SUBROUTINE interf(cut2, nmol)
+      COMMON /coords/ xm(200), vm(200)
+      COMMON /work/ rs(16), rl(16)
+      REAL cut2
+      INTEGER i, j, k, kc, nmol
+      DO 1000 i = 1, nmol
+        DO 1100 j = 1, nmol
+          CALL dists(i, j)
+          kc = 0
+          DO 1110 k = 1, 9
+            IF (rs(k) .GT. cut2) kc = kc + 1
+1110      CONTINUE
+1100    CONTINUE
+1000  CONTINUE
+      END
+
+      PROGRAM mdg
+      COMMON /coords/ xm(200), vm(200)
+      COMMON /work/ rs(16), rl(16)
+      REAL cut2
+      INTEGER i, nmol
+      nmol = 12
+      cut2 = 90.0
+      DO 50 i = 1, nmol
+        xm(i) = MOD(i * 13, 97)
+50    CONTINUE
+      CALL interf(cut2, nmol)
+      WRITE(*,*) xm(1)
+      END
+`
+
+// registerBodyOps returns the opcode-name sequence (terminator included) of
+// every lowered register body, keyed by "PROC:line".
+func registerBodyOps(t *testing.T, src string) map[string][]string {
+	t.Helper()
+	prog, err := minif.Parse("census", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd := loweredOf(prog).codeFor(prog, false, tierRegister)
+	bodies := map[string][]string{}
+	for li := range cd.loops {
+		lm := &cd.loops[li]
+		if lm.regEntry < 0 {
+			continue
+		}
+		var ops []string
+		for pc := lm.regEntry; ; pc++ {
+			ops = append(ops, opName(cd.ins[pc].op))
+			if cd.ins[pc].op == opLoopNextHead {
+				break
+			}
+		}
+		bodies[fmt.Sprintf("%s:%d", lm.proc, lm.line)] = ops
+	}
+	return bodies
+}
+
+func TestRegisterFusionPatterns(t *testing.T) {
+	bodies := registerBodyOps(t, mdgCensusSrc)
+	want := map[string][]string{
+		// rs(k) = ABS(xm(i) - xm(j)) + k*9.0: the param-held index loads
+		// fold into the subtract, ABS open-codes, and the multiply-add
+		// lands directly in the specialized store.
+		"DISTS:6": {
+			"opRLPIdxLoadGE", "opRLPIdxLoadGESub", "opRAbs",
+			"opRLCMulAddSpecStore", "opLoopNextHead",
+		},
+		// IF (rs(k) .GT. cut2) kc = kc + 1: compare and conditional
+		// increment collapse into one branchless dispatch.
+		"INTERF:20": {"opRSpecJGTPInc", "opLoopNextHead"},
+	}
+	for key, exp := range want {
+		got, ok := bodies[key]
+		if !ok {
+			keys := make([]string, 0, len(bodies))
+			for k := range bodies {
+				keys = append(keys, k)
+			}
+			t.Fatalf("no register body for %s (have %s)", key, strings.Join(keys, ", "))
+		}
+		if strings.Join(got, " ") != strings.Join(exp, " ") {
+			t.Errorf("%s register body:\n got %s\nwant %s",
+				key, strings.Join(got, " "), strings.Join(exp, " "))
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package exec_test
+
+// Tier-4 tests: the register-form engine must hit the same tier
+// transitions as the tiered engine (threshold crossing, sampled-DDA strip
+// and re-arm, incremental invalidation) while actually executing lowered
+// register bodies — the counters prove the tier engaged, the four-way
+// differential in diffBoth proves it observed nothing different.
+
+import (
+	"bytes"
+	"testing"
+
+	"suifx/internal/driver"
+	"suifx/internal/exec"
+	"suifx/internal/minif"
+)
+
+// TestRegisterThresholdCrossing reuses the tiered fixture (specSrc): its
+// inner loop crosses the specialization threshold mid-run, and in register
+// mode the armed activations must execute the lowered register body.
+func TestRegisterThresholdCrossing(t *testing.T) {
+	before := exec.ReadCounters()
+	diffBoth(t, "reg-threshold", "spc", specSrc, runConfig{profile: true})
+	after := exec.ReadCounters()
+	if d := after.RegisterRuns - before.RegisterRuns; d < 1 {
+		t.Fatalf("expected register-mode runs, counter delta = %d", d)
+	}
+	if d := after.RegBodies - before.RegBodies; d < 1 {
+		t.Fatalf("expected register-lowered loop bodies, counter delta = %d", d)
+	}
+	if d := after.RegIterations - before.RegIterations; d < 1 {
+		t.Fatalf("expected iterations in the register runner, counter delta = %d", d)
+	}
+	if d := after.SpecInvocations - before.SpecInvocations; d < 1 {
+		t.Fatalf("expected specialized invocations, counter delta = %d", d)
+	}
+}
+
+// TestRegisterStripRearm runs the fixture under iteration-sampled DDA:
+// unsampled iterations run in the register body, sampled ones must bounce
+// back to the generic instrumented body so no access is ever missed.
+func TestRegisterStripRearm(t *testing.T) {
+	before := exec.ReadCounters()
+	diffBoth(t, "reg-strip", "spc", specSrc,
+		runConfig{profile: true, instrument: true, sampleEvery: 3, sampleWarm: 2})
+	after := exec.ReadCounters()
+	if d := after.StripIterations - before.StripIterations; d < 1 {
+		t.Fatalf("expected stripped iterations under sampled DDA, counter delta = %d", d)
+	}
+	if d := after.RegIterations - before.RegIterations; d < 1 {
+		t.Fatalf("expected register-runner iterations under sampled DDA, counter delta = %d", d)
+	}
+
+	// Fully-sampled DDA must never enter the register body: every
+	// iteration is observed by the instrumented generic body.
+	before = exec.ReadCounters()
+	diffBoth(t, "reg-full", "spc", specSrc, runConfig{profile: true, instrument: true})
+	after = exec.ReadCounters()
+	if d := after.RegIterations - before.RegIterations; d != 0 {
+		t.Fatalf("fully-sampled DDA ran %d register iterations; want 0", d)
+	}
+}
+
+// TestRegisterIncrementalInvalidation mirrors the tiered cache test in
+// register mode: warm runs reuse the compiled register variant, and
+// driver.Incremental invalidation forces a rebuild with identical results.
+func TestRegisterIncrementalInvalidation(t *testing.T) {
+	prog, err := minif.Parse("spc", specSrc)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	run := func() (string, int64) {
+		in := exec.New(prog)
+		in.Mode = exec.ModeRegister
+		var out bytes.Buffer
+		in.Out = &out
+		if err := in.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String(), in.Ops()
+	}
+
+	out1, ops1 := run()
+	before := exec.ReadCounters()
+	out2, ops2 := run()
+	if d := exec.ReadCounters().CompiledPrograms - before.CompiledPrograms; d != 0 {
+		t.Fatalf("warm register run recompiled %d programs; want 0", d)
+	}
+
+	inc := driver.NewIncremental(prog, driver.Options{})
+	inc.Analyze()
+	if n := inc.Invalidate(prog.Procs[0].Name); n < 1 {
+		t.Fatalf("Invalidate dirtied %d procs; want >= 1", n)
+	}
+	before = exec.ReadCounters()
+	out3, ops3 := run()
+	if d := exec.ReadCounters().CompiledPrograms - before.CompiledPrograms; d < 1 {
+		t.Fatalf("post-invalidation register run recompiled %d programs; want >= 1", d)
+	}
+	if out1 != out2 || out2 != out3 {
+		t.Fatalf("output changed across invalidation: %q / %q / %q", out1, out2, out3)
+	}
+	if ops1 != ops2 || ops2 != ops3 {
+		t.Fatalf("ops changed across invalidation: %d / %d / %d", ops1, ops2, ops3)
+	}
+}

@@ -195,6 +195,117 @@ func TestScheduleReductionDeterminism(t *testing.T) {
 	}
 }
 
+// TestScheduleBoundaryAssignments pins the exact per-position assignment at
+// the dispatch boundaries: fewer trips than workers (some positions get
+// nothing — even leaves interior holes, interleaved/guided leave a tail),
+// zero trips (nobody runs), and guided chunks collapsed to single
+// iterations (remaining/(2W) < 1 from the first chunk).
+func TestScheduleBoundaryAssignments(t *testing.T) {
+	cases := []struct {
+		sched   Schedule
+		trips   int64
+		workers int
+		want    [][]int64
+	}{
+		{ScheduleEven, 2, 4, [][]int64{{}, {0}, {}, {1}}},
+		{ScheduleEven, 1, 4, [][]int64{{}, {}, {}, {0}}},
+		{ScheduleInterleaved, 2, 4, [][]int64{{0}, {1}, {}, {}}},
+		{ScheduleGuided, 2, 4, [][]int64{{0}, {1}, {}, {}}},
+		{ScheduleEven, 0, 4, [][]int64{{}, {}, {}, {}}},
+		{ScheduleInterleaved, 0, 4, [][]int64{{}, {}, {}, {}}},
+		{ScheduleGuided, 0, 4, [][]int64{{}, {}, {}, {}}},
+		// 7/(2*2) = 1: every guided chunk is a single iteration, dealt
+		// round-robin — cyclic assignment, not contiguous halves.
+		{ScheduleGuided, 7, 2, [][]int64{{0, 2, 4, 6}, {1, 3, 5}}},
+	}
+	for _, c := range cases {
+		for pos := 0; pos < c.workers; pos++ {
+			got := []int64{}
+			err := forEachAssigned(c.sched, c.trips, c.workers, pos, func(it int64) error {
+				got = append(got, it)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := c.want[pos]
+			if len(got) != len(want) {
+				t.Fatalf("%v trips=%d W=%d pos=%d: got %v, want %v",
+					c.sched, c.trips, c.workers, pos, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%v trips=%d W=%d pos=%d: got %v, want %v",
+						c.sched, c.trips, c.workers, pos, got, want)
+				}
+			}
+		}
+	}
+}
+
+// boundarySrc runs two planned loops at the dispatch boundaries: loop 10
+// has fewer trips (2) than the plan's workers (4), loop 20 has zero trips.
+const boundarySrc = `
+      PROGRAM main
+      REAL a(8), s(8)
+      INTEGER i, n, m
+      n = 2
+      m = 0
+      DO 5 i = 1, 8
+        a(i) = i * 2.0
+        s(i) = 0.0
+5     CONTINUE
+      DO 10 i = 1, n
+        s(i) = a(i) + 1.0
+10    CONTINUE
+      DO 20 i = 1, m
+        s(i) = 99.0
+20    CONTINUE
+      WRITE(*,*) s(1), s(2), s(3)
+      END
+`
+
+// TestScheduleBoundaryTierAgreement runs the boundary loops under every
+// schedule across all four engine tiers and requires bit-identical results:
+// a partial or empty assignment must not desynchronize any tier's dispatch.
+func TestScheduleBoundaryTierAgreement(t *testing.T) {
+	for _, sched := range Schedules() {
+		var ref *Interp
+		for _, mode := range []ExecMode{ModeTree, ModeBytecode, ModeTiered, ModeRegister} {
+			prog := minif.MustParse("t", boundarySrc)
+			main := prog.Main()
+			plan := &ParallelPlan{Workers: 4, Loops: map[*ir.DoLoop]*LoopPlan{}}
+			for _, l := range main.Loops() {
+				if l.Label == "10" || l.Label == "20" {
+					plan.Loops[l] = &LoopPlan{Schedule: sched}
+				}
+			}
+			if len(plan.Loops) != 2 {
+				t.Fatal("boundary loops not found")
+			}
+			in := NewWithPlan(prog, plan)
+			in.Mode = mode
+			if err := in.Run(); err != nil {
+				t.Fatalf("sched=%v mode=%v: %v", sched, mode, err)
+			}
+			if ref == nil {
+				ref = in
+				continue
+			}
+			if in.Ops() != ref.Ops() {
+				t.Errorf("sched=%v mode=%v: ops %d differ from tree %d", sched, mode, in.Ops(), ref.Ops())
+			}
+			ra, ia := ref.Arena(), in.Arena()
+			for i := range ra {
+				if math.Float64bits(ra[i]) != math.Float64bits(ia[i]) {
+					t.Errorf("sched=%v mode=%v: cell %d differs: %g vs %g", sched, mode, i, ia[i], ra[i])
+					break
+				}
+			}
+		}
+	}
+}
+
 // triSrc is a triangular kernel: iteration i does O(i) work, so the even
 // schedule's last chunk dominates the critical path while interleaving
 // balances it — the measurable difference the tuner's schedule knob exists

@@ -149,7 +149,7 @@ func TestBudgetBlockBoundary(t *testing.T) {
 		label := fmt.Sprintf("maxops=%d", maxOps)
 		cfg := runConfig{maxOps: maxOps}
 		tree := runEngine(t, "bdg", src, exec.ModeTree, cfg)
-		for _, mode := range []exec.ExecMode{exec.ModeBytecode, exec.ModeTiered} {
+		for _, mode := range []exec.ExecMode{exec.ModeBytecode, exec.ModeTiered, exec.ModeRegister} {
 			vm := runEngine(t, "bdg", src, mode, cfg)
 			if (tree.err == "") != (vm.err == "") {
 				t.Fatalf("%s/%s: error presence differs: tree %q vs vm %q", label, mode, tree.err, vm.err)

@@ -661,7 +661,13 @@ func (v *vm) run() error {
 			if v.spec != nil && lm.altEntry >= 0 {
 				v.spec[i.a]++
 				if v.spec[i.a] >= specThreshold && specPreflight(cd, lm, lo, step, trips) {
-					act.alt = lm.altEntry
+					// Prefer the register form when this body lowered; both
+					// entries have identical semantics and virtual-time cost.
+					if cd.register && lm.regEntry >= 0 {
+						act.alt = lm.regEntry
+					} else {
+						act.alt = lm.altEntry
+					}
 					counters.specInvocations.Add(1)
 				}
 			}
@@ -699,6 +705,18 @@ func (v *vm) run() error {
 						break
 					}
 					stripIters++
+				}
+				if act.alt >= cd.regStart && cd.register {
+					v.ops = ops
+					np, ni, si, err := v.runRegBody(act, params)
+					ops = v.ops
+					nInstr += ni
+					stripIters += si
+					if err != nil {
+						return fail(err)
+					}
+					pc = np
+					continue
 				}
 				pc = act.alt
 				continue
@@ -740,6 +758,18 @@ func (v *vm) run() error {
 						continue
 					}
 					stripIters++
+				}
+				if act.alt >= cd.regStart && cd.register {
+					v.ops = ops
+					np, ni, si, err := v.runRegBody(act, params)
+					ops = v.ops
+					nInstr += ni
+					stripIters += si
+					if err != nil {
+						return fail(err)
+					}
+					pc = np
+					continue
 				}
 				pc = act.alt
 				continue
@@ -1488,6 +1518,628 @@ func (v *vm) run() error {
 		}
 		pc++
 	}
+}
+
+// runRegBody executes an armed register-form body (tier 4) natively: a
+// compact dispatch loop whose back edge (the body's opLoopNextHead
+// terminator) is handled inline, so consecutive unsampled iterations never
+// re-enter the main switch. Registers are eval-stack slots addressed
+// absolutely (body entry depth is 0 — see register.go), and the induction
+// index is hoisted into idxI once per iteration: act.v mirrors
+// mem[act.idxAddr] exactly and preflight proved integer induction, so
+// int64(act.v) equals the generic tier's rounding.
+//
+// Returns the pc the main loop resumes at plus instruction/strip-iteration
+// deltas for the caller's counters. Virtual time (ops) and event ordering
+// are identical to the stack alt body: every instruction keeps its source
+// tick (fused windows sum theirs), budget checks sit at the same opcodes,
+// and iter/exit events fire from the same back-edge points.
+func (v *vm) runRegBody(act *loopAct, params []int64) (int32, int64, int64, error) {
+	cd := v.cd
+	ins := cd.ins
+	mem := v.mem
+	stack := v.stack
+	ops := v.ops
+	maxOps := v.maxOps
+	var nInstr, stripIters, iters int64
+	defer func() { counters.regIterations.Add(iters) }()
+
+	entry := act.alt
+	idxI := int64(act.v)
+	pc := entry
+	for {
+		i := &ins[pc]
+		ops += int64(i.tick)
+		nInstr++
+		switch i.op {
+		case opNop:
+
+		case opLoopNextHead:
+			// Inline back edge: verbatim copy of the loop's fused
+			// opLoopNext+opLoopHead terminator (i.a = head pc, i.b = exit pc).
+			iters++
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			act.it++
+			act.v += act.step
+			mem[act.idxAddr] = act.v
+			if act.it >= act.trips {
+				v.ops = ops
+				if v.events {
+					v.exitLoopTop()
+				} else {
+					v.loopActs = v.loopActs[:len(v.loopActs)-1]
+				}
+				return i.b, nInstr, stripIters, nil
+			}
+			if v.events {
+				v.iterLoop(act.li, act.it)
+			}
+			if d := v.dda; d != nil {
+				if d.unsampled == 0 {
+					// Sampled iteration: hand back to the instrumented
+					// generic body, exactly as the stack tier does.
+					v.ops = ops
+					return i.a + 1, nInstr, stripIters, nil
+				}
+				stripIters++
+			}
+			idxI = int64(act.v)
+			pc = entry
+			continue
+
+		case opRConst:
+			stack[i.b] = i.f
+		case opRLoadG:
+			stack[i.b] = mem[i.a]
+		case opRLoadP:
+			stack[i.b] = mem[params[i.a]]
+		case opRStoreG:
+			mem[i.a] = stack[i.b]
+		case opRStoreP:
+			mem[params[i.a]] = stack[i.b]
+		case opRNeg:
+			stack[i.b] = -stack[i.b]
+		case opRNot:
+			if stack[i.b] == 0 {
+				stack[i.b] = 1
+			} else {
+				stack[i.b] = 0
+			}
+		case opRBool:
+			if stack[i.b] != 0 {
+				stack[i.b] = 1
+			}
+		case opRAdd:
+			b := i.b
+			stack[b&rMask] = stack[b>>rBits&rMask] + stack[b>>(2*rBits)&rMask]
+		case opRSub:
+			b := i.b
+			stack[b&rMask] = stack[b>>rBits&rMask] - stack[b>>(2*rBits)&rMask]
+		case opRMul:
+			b := i.b
+			stack[b&rMask] = stack[b>>rBits&rMask] * stack[b>>(2*rBits)&rMask]
+		case opRDiv:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			b := i.b
+			den := stack[b>>(2*rBits)&rMask]
+			if den == 0 {
+				v.ops = ops
+				return 0, nInstr, stripIters,
+					fmt.Errorf("exec: line %d: division by zero", i.a)
+			}
+			stack[b&rMask] = stack[b>>rBits&rMask] / den
+		case opREQ:
+			b := i.b
+			stack[b&rMask] = boolVal(stack[b>>rBits&rMask] == stack[b>>(2*rBits)&rMask])
+		case opRNE:
+			b := i.b
+			stack[b&rMask] = boolVal(stack[b>>rBits&rMask] != stack[b>>(2*rBits)&rMask])
+		case opRLT:
+			b := i.b
+			stack[b&rMask] = boolVal(stack[b>>rBits&rMask] < stack[b>>(2*rBits)&rMask])
+		case opRLE:
+			b := i.b
+			stack[b&rMask] = boolVal(stack[b>>rBits&rMask] <= stack[b>>(2*rBits)&rMask])
+		case opRGT:
+			b := i.b
+			stack[b&rMask] = boolVal(stack[b>>rBits&rMask] > stack[b>>(2*rBits)&rMask])
+		case opRGE:
+			b := i.b
+			stack[b&rMask] = boolVal(stack[b>>rBits&rMask] >= stack[b>>(2*rBits)&rMask])
+		case opRIntrin:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			argc := i.b & rMask
+			base := i.b >> rBits
+			r, err := applyIntrinsicID(i.a, stack[base:base+argc])
+			if err != nil {
+				v.ops = ops
+				return 0, nInstr, stripIters, err
+			}
+			stack[base] = r
+		case opRJmp:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			pc = i.a
+			continue
+		case opRJZ:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			if stack[i.b] == 0 {
+				pc = i.a
+				continue
+			}
+		case opRAndJmp:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			if stack[i.b] == 0 {
+				pc = i.a
+				continue
+			}
+		case opROrJmp:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			if stack[i.b] != 0 {
+				stack[i.b] = 1
+				pc = i.a
+				continue
+			}
+		case opRJEQ, opRJNE, opRJLT, opRJLE, opRJGT, opRJGE:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			a := stack[i.b&rMask]
+			b := stack[i.b>>rBits&rMask]
+			var cond bool
+			switch i.op {
+			case opRJEQ:
+				cond = a == b
+			case opRJNE:
+				cond = a != b
+			case opRJLT:
+				cond = a < b
+			case opRJLE:
+				cond = a <= b
+			case opRJGT:
+				cond = a > b
+			default:
+				cond = a >= b
+			}
+			if !cond {
+				pc = i.a
+				continue
+			}
+		case opRIdx:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.a]
+			iv := int64(math.Round(stack[i.b]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			stack[i.b] = float64((iv - d.lo) * d.stride)
+		case opRIdxAdd:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.a]
+			iv := int64(math.Round(stack[i.b>>rBits&rMask]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			stack[i.b&rMask] += float64((iv - d.lo) * d.stride)
+		case opRLoadGE:
+			stack[i.b] = mem[int64(i.a)+int64(stack[i.b])]
+		case opRLoadPE:
+			stack[i.b] = mem[params[i.a]+int64(stack[i.b])]
+		case opRStoreGE:
+			mem[int64(i.a)+int64(stack[i.b>>rBits&rMask])] = stack[i.b&rMask]
+		case opRStorePE:
+			mem[params[i.a]+int64(stack[i.b>>rBits&rMask])] = stack[i.b&rMask]
+		case opRSpecLoadG:
+			d := &cd.idx[i.b]
+			stack[i.a] = mem[d.base+idxI*d.stride]
+		case opRSpecStoreG:
+			d := &cd.idx[i.b]
+			mem[d.base+idxI*d.stride] = stack[i.a]
+		case opRSpecLoadP:
+			d := &cd.idx[i.b]
+			stack[i.a] = mem[params[d.pslot]+d.base+idxI*d.stride]
+		case opRSpecStoreP:
+			d := &cd.idx[i.b]
+			mem[params[d.pslot]+d.base+idxI*d.stride] = stack[i.a]
+		case opRLGIdxLoadGE:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			stack[int32(i.f)] = mem[d.base+iv*d.stride]
+		case opRLGIdxLoadPE:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			stack[int32(i.f)] = mem[params[d.pslot]+d.base+iv*d.stride]
+		case opRLGIdxStoreGE:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			mem[d.base+iv*d.stride] = stack[int32(i.f)]
+		case opRLGIdxStorePE:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			mem[params[d.pslot]+d.base+iv*d.stride] = stack[int32(i.f)]
+		case opRIdxAddLoadGE:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b]
+			r := int32(i.f)
+			acc := r & rMask
+			iv := int64(math.Round(stack[r>>rBits&rMask]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			stack[acc] = mem[int64(i.a)+int64(stack[acc])+(iv-d.lo)*d.stride]
+		case opRIdxAddLoadPE:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b]
+			r := int32(i.f)
+			acc := r & rMask
+			iv := int64(math.Round(stack[r>>rBits&rMask]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			stack[acc] = mem[params[i.a]+int64(stack[acc])+(iv-d.lo)*d.stride]
+		case opRIdxAddStoreGE:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b]
+			r := int32(i.f)
+			iv := int64(math.Round(stack[r>>(2*rBits)&rMask]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			off := int64(stack[r>>rBits&rMask]) + (iv-d.lo)*d.stride
+			mem[int64(i.a)+off] = stack[r&rMask]
+		case opRIdxAddStorePE:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b]
+			r := int32(i.f)
+			iv := int64(math.Round(stack[r>>(2*rBits)&rMask]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			off := int64(stack[r>>rBits&rMask]) + (iv-d.lo)*d.stride
+			mem[params[i.a]+off] = stack[r&rMask]
+		case opRLGIdx:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			stack[int32(i.f)] = float64((iv - d.lo) * d.stride)
+		case opRLGIdxAdd:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[i.a]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			stack[int32(i.f)] += float64((iv - d.lo) * d.stride)
+		case opRLLAdd:
+			stack[int32(i.f)] = mem[i.a] + mem[i.b]
+		case opRLLSub:
+			stack[int32(i.f)] = mem[i.a] - mem[i.b]
+		case opRLLMul:
+			stack[int32(i.f)] = mem[i.a] * mem[i.b]
+		case opRLCAdd:
+			stack[i.b] = mem[i.a] + i.f
+		case opRLCSub:
+			stack[i.b] = mem[i.a] - i.f
+		case opRLCMul:
+			stack[i.b] = mem[i.a] * i.f
+		case opRLCMulAdd:
+			stack[i.b] += mem[i.a] * i.f
+		case opRLPJGT:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			if !(stack[i.b>>rBits&rMask] > mem[params[i.b&rMask]]) {
+				pc = i.a
+				continue
+			}
+		case opRLPJLE:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			if !(stack[i.b>>rBits&rMask] <= mem[params[i.b&rMask]]) {
+				pc = i.a
+				continue
+			}
+		case opRLCIdx:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b&(1<<(2*rBits)-1)]
+			iv := int64(math.Round(mem[i.a] + i.f))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			stack[i.b>>(2*rBits)] = float64((iv - d.lo) * d.stride)
+		case opLCAddStoreG:
+			// Stack-free fused op kept verbatim by the lowering.
+			mem[i.b] = mem[i.a] + i.f
+		case opRConstAddStoreG:
+			mem[i.a] = stack[i.b] + i.f
+		case opRLoadGEAdd:
+			stack[i.b&rMask] += mem[int64(i.a)+int64(stack[i.b>>rBits&rMask])]
+		case opRLoadGESub:
+			stack[i.b&rMask] -= mem[int64(i.a)+int64(stack[i.b>>rBits&rMask])]
+		case opRLoadGEMul:
+			stack[i.b&rMask] *= mem[int64(i.a)+int64(stack[i.b>>rBits&rMask])]
+		case opRSpecJGTP:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[int32(i.f)]
+			if !(mem[d.base+idxI*d.stride] > mem[params[i.b]]) {
+				pc = i.a
+				continue
+			}
+		case opRSpecJLEP:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[int32(i.f)]
+			if !(mem[d.base+idxI*d.stride] <= mem[params[i.b]]) {
+				pc = i.a
+				continue
+			}
+		case opRMemAxpy:
+			mem[i.a] += mem[i.b] * i.f
+		case opRLPIdx:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[params[i.a]]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			stack[int32(i.f)] = float64((iv - d.lo) * d.stride)
+		case opRLPIdxAdd:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[params[i.a]]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			stack[int32(i.f)] += float64((iv - d.lo) * d.stride)
+		case opRLPIdxLoadGE:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[params[i.a]]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			stack[int32(i.f)] = mem[d.base+iv*d.stride]
+		case opRLPIdxLoadPE:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[params[i.a]]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			stack[int32(i.f)] = mem[params[d.pslot]+d.base+iv*d.stride]
+		case opRLPIdxStoreGE:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[params[i.a]]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			mem[d.base+iv*d.stride] = stack[int32(i.f)]
+		case opRLPIdxStorePE:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b]
+			iv := int64(math.Round(mem[params[i.a]]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			mem[params[d.pslot]+d.base+iv*d.stride] = stack[int32(i.f)]
+		case opRAddC:
+			stack[i.b&rMask] = stack[i.b>>rBits&rMask] + i.f
+		case opRSubC:
+			stack[i.b&rMask] = stack[i.b>>rBits&rMask] - i.f
+		case opRMulC:
+			stack[i.b&rMask] = stack[i.b>>rBits&rMask] * i.f
+		case opRSpecStoreC:
+			d := &cd.idx[i.b]
+			mem[d.base+idxI*d.stride] = i.f
+		case opRAbs:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			stack[i.b] = math.Abs(stack[i.b])
+		case opRLPIdxLoadGEAdd:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b&(1<<(2*rBits)-1)]
+			iv := int64(math.Round(mem[params[i.b>>(2*rBits)]]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			stack[int32(i.f)] += mem[int64(i.a)+(iv-d.lo)*d.stride]
+		case opRLPIdxLoadGESub:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b&(1<<(2*rBits)-1)]
+			iv := int64(math.Round(mem[params[i.b>>(2*rBits)]]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			stack[int32(i.f)] -= mem[int64(i.a)+(iv-d.lo)*d.stride]
+		case opRLPIdxLoadGEMul:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			d := &cd.idx[i.b&(1<<(2*rBits)-1)]
+			iv := int64(math.Round(mem[params[i.b>>(2*rBits)]]))
+			if iv < d.lo || iv > d.hi {
+				v.ops = ops
+				return 0, nInstr, stripIters, boundsErr(d, iv)
+			}
+			stack[int32(i.f)] *= mem[int64(i.a)+(iv-d.lo)*d.stride]
+		case opRLCMulAddSpecStore:
+			r := i.b & rMask
+			stack[r] += mem[i.a] * i.f
+			d := &cd.idx[i.b>>rBits]
+			mem[d.base+idxI*d.stride] = stack[r]
+		case opRSpecJGTPInc:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			enc := int32(i.f)
+			d := &cd.idx[enc&(1<<(2*rBits)-1)]
+			if mem[d.base+idxI*d.stride] > mem[params[i.b]] {
+				ops += int64(enc >> (2 * rBits)) // taken path pays the increment's tick
+				mem[i.a]++
+			}
+		case opRSpecJLEPInc:
+			if ops > maxOps {
+				v.ops = ops
+				return 0, nInstr, stripIters, budgetErr(maxOps)
+			}
+			enc := int32(i.f)
+			d := &cd.idx[enc&(1<<(2*rBits)-1)]
+			if mem[d.base+idxI*d.stride] <= mem[params[i.b]] {
+				ops += int64(enc >> (2 * rBits)) // taken path pays the increment's tick
+				mem[i.a]++
+			}
+
+		default:
+			v.ops = ops
+			return 0, nInstr, stripIters,
+				fmt.Errorf("exec: bad register opcode %d at pc %d", i.op, pc)
+		}
+		pc++
+	}
+}
+
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func budgetErr(maxOps int64) error {

@@ -35,7 +35,7 @@ func TestNanzParallelCoverage(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s W=%d tree: %v", w.Name, workers, err)
 			}
-			for _, mode := range []exec.ExecMode{exec.ModeBytecode, exec.ModeTiered} {
+			for _, mode := range []exec.ExecMode{exec.ModeBytecode, exec.ModeTiered, exec.ModeRegister} {
 				vmRun, _, err := RunParallel(w.Name, ParallelRunOptions{
 					Workers: workers, Mode: mode, Staggered: true, Chunks: 4,
 				})
@@ -47,7 +47,7 @@ func TestNanzParallelCoverage(t *testing.T) {
 						w.Name, workers, mode, i)
 				}
 			}
-			for _, mode := range []exec.ExecMode{exec.ModeTree, exec.ModeBytecode, exec.ModeTiered} {
+			for _, mode := range []exec.ExecMode{exec.ModeTree, exec.ModeBytecode, exec.ModeTiered, exec.ModeRegister} {
 				if err := validateParallelRun(w.Name, workers, mode, true); err != nil {
 					t.Errorf("%s W=%d mode=%v: %v", w.Name, workers, mode, err)
 				}

@@ -63,7 +63,7 @@ func TestParallelDifferentialEngines(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s W=%d tree: %v", name, workers, err)
 			}
-			for _, mode := range []exec.ExecMode{exec.ModeBytecode, exec.ModeTiered} {
+			for _, mode := range []exec.ExecMode{exec.ModeBytecode, exec.ModeTiered, exec.ModeRegister} {
 				vmRun, _, err := RunParallel(name, ParallelRunOptions{
 					Workers: workers, Mode: mode, Staggered: true, Chunks: 4,
 				})
@@ -89,7 +89,7 @@ func TestParallelDifferentialEngines(t *testing.T) {
 func TestParallelVsSequential(t *testing.T) {
 	for _, name := range parallelWorkloads(t) {
 		for _, workers := range []int{1, 2, 4} {
-			for _, mode := range []exec.ExecMode{exec.ModeTree, exec.ModeBytecode, exec.ModeTiered} {
+			for _, mode := range []exec.ExecMode{exec.ModeTree, exec.ModeBytecode, exec.ModeTiered, exec.ModeRegister} {
 				if err := validateParallelRun(name, workers, mode, true); err != nil {
 					t.Errorf("%s W=%d mode=%v: %v", name, workers, mode, err)
 				}
@@ -103,7 +103,7 @@ func TestParallelVsSequential(t *testing.T) {
 // their results must be bit-identical — on both engines.
 func TestFinalizationEquivalence(t *testing.T) {
 	for _, name := range parallelWorkloads(t) {
-		for _, mode := range []exec.ExecMode{exec.ModeTree, exec.ModeBytecode, exec.ModeTiered} {
+		for _, mode := range []exec.ExecMode{exec.ModeTree, exec.ModeBytecode, exec.ModeTiered, exec.ModeRegister} {
 			single, _, err := RunParallel(name, ParallelRunOptions{
 				Workers: 4, Mode: mode, Staggered: false,
 			})

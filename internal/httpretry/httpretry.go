@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 	"time"
@@ -113,9 +114,16 @@ func Transient(err error) bool {
 	// url.Error wrapping a closed-connection race surfaces as a string-only
 	// error on some platforms; match the two canonical spellings.
 	msg := err.Error()
-	return strings.Contains(msg, "connection refused") ||
-		strings.Contains(msg, "connection reset") ||
-		strings.Contains(msg, "EOF")
+	if strings.Contains(msg, "connection refused") ||
+		strings.Contains(msg, "connection reset") {
+		return true
+	}
+	// "EOF" is far too common a substring to match on arbitrary errors (an
+	// application error that merely mentions EOF would be retried); accept it
+	// only on transport-level failures, which http.Client.Do always wraps in
+	// *url.Error.
+	var ue *url.Error
+	return errors.As(err, &ue) && strings.Contains(msg, "EOF")
 }
 
 // Do issues the request, retrying transient failures with jittered backoff.
@@ -166,10 +174,15 @@ func (c *Client) Do(req *http.Request) (*http.Response, error) {
 		if c.OnRetry != nil {
 			c.OnRetry(attempt, lastErr)
 		}
+		// A stopped timer, not time.After: a canceled request mid-backoff must
+		// not leave a timer pinned in the runtime heap for the full delay
+		// (long-backoff clients canceling many requests leak real memory).
+		t := time.NewTimer(c.jitter(delay))
 		select {
 		case <-req.Context().Done():
+			t.Stop()
 			return nil, req.Context().Err()
-		case <-time.After(c.jitter(delay)):
+		case <-t.C:
 		}
 		delay *= 2
 		if delay > maxDelay {

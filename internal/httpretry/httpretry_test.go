@@ -3,10 +3,13 @@ package httpretry
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -33,6 +36,14 @@ func TestTransientClassification(t *testing.T) {
 		{"refused string", errors.New(`Post "http://x": dial tcp: connection refused`), true},
 		{"reset string", errors.New("read: connection reset by peer"), true},
 		{"ordinary error", errors.New("no such host in my heart"), false},
+		// The "EOF" substring only counts on transport-level (*url.Error)
+		// failures: an application error that merely mentions EOF must not
+		// be retried.
+		{"url.Error EOF string", &url.Error{Op: "Post", URL: "http://x",
+			Err: errors.New("http: server closed idle connection: EOF")}, true},
+		{"app error mentioning EOF", errors.New("decode config: unexpected EOF while parsing"), false},
+		{"wrapped app EOF mention", fmt.Errorf("shard 3: %w",
+			errors.New("corpus truncated: EOF at record 17")), false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -167,6 +178,42 @@ func TestDoContextCancelStopsBackoff(t *testing.T) {
 	}
 	if d := time.Since(start); d > 5*time.Second {
 		t.Fatalf("cancel took %v to land (backoff not interruptible)", d)
+	}
+}
+
+// roundTripFunc lets tests answer requests without a network.
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// TestBackoffTimerReleasedOnCancel: canceling a request mid-backoff must
+// release the backoff timer. Before the time.NewTimer/Stop fix, every
+// canceled backoff left a pending timer pinned in the runtime's timer heap
+// for the full delay; with hour-long delays the retained memory is directly
+// measurable across many cancellations.
+func TestBackoffTimerReleasedOnCancel(t *testing.T) {
+	rt := roundTripFunc(func(r *http.Request) (*http.Response, error) {
+		return &http.Response{StatusCode: http.StatusServiceUnavailable,
+			Status: "503 Service Unavailable", Body: http.NoBody}, nil
+	})
+	c := &Client{HC: &http.Client{Transport: rt}, BaseDelay: time.Hour, Attempts: 2}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < 20000; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		// OnRetry fires immediately before the backoff select, so the
+		// select always sees a canceled context against an hour-long timer.
+		c.OnRetry = func(int, error) { cancel() }
+		if _, err := c.PostJSON(ctx, "http://unreachable.invalid/v1/x", []byte(`{}`)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if retained := int64(after.HeapAlloc) - int64(before.HeapAlloc); retained > 1<<20 {
+		t.Fatalf("%d bytes retained after 20000 canceled backoffs (timer leak)", retained)
 	}
 }
 

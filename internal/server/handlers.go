@@ -288,12 +288,12 @@ type ProfileRequest struct {
 	// MaxOps bounds the interpreted execution (default 50M operations).
 	MaxOps int64 `json:"max_ops,omitempty"`
 	// Mode selects the execution engine: "auto" (default), "bytecode",
-	// "tiered" or "tree" — the tree-walker is kept for differential
-	// debugging.
+	// "tiered", "register" or "tree" — the tree-walker is kept for
+	// differential debugging.
 	Mode string `json:"mode,omitempty"`
-	// Tier names a concrete engine tier ("tree", "bytecode" or "tiered")
-	// and, when set, overrides Mode. Unknown values are a 422, mirroring
-	// the mode contract.
+	// Tier names a concrete engine tier ("tree", "bytecode", "tiered" or
+	// "register") and, when set, overrides Mode. Unknown values are a 422,
+	// mirroring the mode contract.
 	Tier string `json:"tier,omitempty"`
 	// Workers, when > 1, lowers the analysis' approved parallel loops to a
 	// runtime plan and executes them on that many workers (§4.5 even-chunk

@@ -33,8 +33,8 @@ type TuneRequest struct {
 	// /v1/profile); it also bounds how long a cancelled search's in-flight
 	// run can straggle.
 	MaxOps int64 `json:"max_ops,omitempty"`
-	// Mode selects the engine: "auto" (default), "bytecode", "tiered" or
-	// "tree".
+	// Mode selects the engine: "auto" (default), "bytecode", "tiered",
+	// "register" or "tree".
 	Mode string `json:"mode,omitempty"`
 	// Tier names a concrete engine tier and overrides Mode when set, as on
 	// /v1/profile.

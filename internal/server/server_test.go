@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"suifx/internal/driver"
+	"suifx/internal/exec"
 	"suifx/internal/workloads"
 )
 
@@ -459,7 +460,7 @@ func TestServerProfileTier(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	w := workloads.All()[0]
 	var bodies []string
-	for _, tier := range []string{"bytecode", "tiered"} {
+	for _, tier := range []string{"bytecode", "tiered", "register"} {
 		status, fields := postJSON(t, ts, "/v1/profile",
 			map[string]any{"workload": w.Name, "mode": "tree", "tier": tier})
 		if status != http.StatusOK {
@@ -467,9 +468,29 @@ func TestServerProfileTier(t *testing.T) {
 		}
 		bodies = append(bodies, string(fields["total_ops"])+string(fields["loops"]))
 	}
-	if bodies[0] != bodies[1] {
-		t.Fatalf("tiers disagree over HTTP:\nbytecode: %s\ntiered:   %s", bodies[0], bodies[1])
+	for i := 1; i < len(bodies); i++ {
+		if bodies[0] != bodies[i] {
+			t.Fatalf("tiers disagree over HTTP:\nbytecode: %s\nother:    %s", bodies[0], bodies[i])
+		}
 	}
+	// The register-tier run above must be visible in /v1/stats: the exec
+	// counters carry the tier-4 activity (runs and lowered bodies).
+	var stats struct {
+		Exec exec.Counters `json:"exec"`
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Exec.RegisterRuns < 1 {
+		t.Fatalf("/v1/stats exec.register_runs = %d after a register-tier profile, want >= 1",
+			stats.Exec.RegisterRuns)
+	}
+
 	status, fields := postJSON(t, ts, "/v1/profile", map[string]any{"workload": w.Name, "tier": "auto"})
 	if status != http.StatusUnprocessableEntity {
 		t.Fatalf("tier=auto: status = %d (%s), want 422 (a tier names a concrete engine)",
